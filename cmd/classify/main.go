@@ -1,0 +1,166 @@
+// Command classify places a temporal formula in the safety–progress
+// hierarchy, reporting all four of the paper's views.
+//
+// Usage:
+//
+//	classify [-props p,q,r] "G (p -> F q)"
+//	classify -op R -regex '.*b' -alphabet ab
+//
+// The first form classifies a temporal formula (grammar: X U W F G future
+// operators, Y Z S B O H past operators, ! & | -> <-> connectives). The
+// second form classifies O(Φ) for one of the linguistic operators
+// O ∈ {A, E, R, P} applied to a finitary regular language. A third form,
+//
+//	classify -automaton m.aut
+//
+// classifies a deterministic Streett automaton given in the textual
+// format of internal/omega.ParseText (alphabet/states/start/trans/pair
+// directives).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	temporal "repro"
+	"repro/internal/omega"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	props := fs.String("props", "", "comma-separated extra propositions")
+	op := fs.String("op", "", "linguistic operator: A, E, R or P (with -regex)")
+	regexExpr := fs.String("regex", "", "finitary regular expression for -op")
+	alphaStr := fs.String("alphabet", "ab", "letters of the alphabet for -op")
+	autFile := fs.String("automaton", "", "file with a Streett automaton in the textual format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *autFile != "" {
+		return classifyAutomatonFile(*autFile)
+	}
+	if *op != "" {
+		return classifyOperator(*op, *regexExpr, *alphaStr)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one formula argument")
+	}
+	return classifyFormula(fs.Arg(0), *props)
+}
+
+func classifyFormula(input, extraProps string) error {
+	f, err := temporal.ParseFormula(input)
+	if err != nil {
+		return err
+	}
+	var props []string
+	if extraProps != "" {
+		props = strings.Split(extraProps, ",")
+	}
+
+	fmt.Printf("formula           : %v\n", f)
+	syn, nf, err := temporal.SyntacticClass(f)
+	if err != nil {
+		return fmt.Errorf("normalize: %w", err)
+	}
+	fmt.Printf("normal form       : %v\n", nf)
+	fmt.Printf("syntactic class   : %v\n", syn)
+
+	aut, err := temporal.CompileFormula(f, propsOrNil(props, f))
+	if err != nil {
+		return err
+	}
+	c := temporal.ClassifyAutomaton(aut)
+	fmt.Printf("automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
+	fmt.Printf("semantic class    : %v\n", c.Lowest())
+	fmt.Printf("all classes       : %v\n", c.Classes())
+	if c.Obligation {
+		fmt.Printf("obligation rank   : %d\n", c.ObligationRank)
+	}
+	fmt.Printf("reactivity rank   : %d\n", c.ReactivityRank)
+	fmt.Printf("topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
+		temporal.IsClosed(aut), temporal.IsOpen(aut),
+		temporal.IsGdelta(aut), temporal.IsFsigma(aut), temporal.IsDense(aut))
+	fmt.Printf("safety-liveness   : liveness=%v\n", temporal.IsLiveness(aut))
+	return nil
+}
+
+func propsOrNil(props []string, f temporal.Formula) []string {
+	if len(props) == 0 {
+		return nil
+	}
+	return props
+}
+
+func classifyAutomatonFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	aut, err := omega.ParseText(string(data))
+	if err != nil {
+		return err
+	}
+	c := temporal.ClassifyAutomaton(aut)
+	fmt.Printf("automaton         : %d states, %d Streett pairs over %v\n",
+		aut.NumStates(), aut.NumPairs(), aut.Alphabet())
+	fmt.Printf("semantic class    : %v\n", c.Lowest())
+	fmt.Printf("all classes       : %v\n", c.Classes())
+	if c.Obligation {
+		fmt.Printf("obligation rank   : %d\n", c.ObligationRank)
+	}
+	fmt.Printf("reactivity rank   : %d\n", c.ReactivityRank)
+	fmt.Printf("topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
+		temporal.IsClosed(aut), temporal.IsOpen(aut),
+		temporal.IsGdelta(aut), temporal.IsFsigma(aut), temporal.IsDense(aut))
+	fmt.Printf("syntactic shape   : safety=%v guarantee=%v recurrence=%v persistence=%v\n",
+		aut.IsSafetyAutomaton(), aut.IsGuaranteeAutomaton(),
+		aut.IsRecurrenceAutomaton(), aut.IsPersistenceAutomaton())
+	return nil
+}
+
+func classifyOperator(op, regexExpr, alphaStr string) error {
+	if regexExpr == "" {
+		return fmt.Errorf("-op needs -regex")
+	}
+	alpha, err := temporal.Letters(alphaStr)
+	if err != nil {
+		return err
+	}
+	phi, err := temporal.NewProperty(regexExpr, alpha)
+	if err != nil {
+		return err
+	}
+	var aut *temporal.Automaton
+	switch strings.ToUpper(op) {
+	case "A":
+		aut = temporal.BuildA(phi)
+	case "E":
+		aut = temporal.BuildE(phi)
+	case "R":
+		aut = temporal.BuildR(phi)
+	case "P":
+		aut = temporal.BuildP(phi)
+	default:
+		return fmt.Errorf("unknown operator %q (want A, E, R or P)", op)
+	}
+	c := temporal.ClassifyAutomaton(aut)
+	fmt.Printf("property          : %s(%s) over %v\n", strings.ToUpper(op), regexExpr, alpha)
+	fmt.Printf("automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
+	fmt.Printf("semantic class    : %v\n", c.Lowest())
+	fmt.Printf("all classes       : %v\n", c.Classes())
+	fmt.Printf("topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
+		temporal.IsClosed(aut), temporal.IsOpen(aut),
+		temporal.IsGdelta(aut), temporal.IsFsigma(aut), temporal.IsDense(aut))
+	return nil
+}

@@ -1,0 +1,37 @@
+// Command hierarchy regenerates every table and figure of the paper:
+// each experiment re-derives one artifact and reports paper-expected
+// versus measured. Run with no arguments for all experiments, or pass
+// experiment ids (E1 … E14) to select.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	want := map[string]bool{}
+	for _, a := range args {
+		want[strings.ToUpper(a)] = true
+	}
+	reports := experiments.All()
+	exit := 0
+	for _, r := range reports {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Print(experiments.Render(r))
+		fmt.Println()
+		if !r.OK {
+			exit = 1
+		}
+	}
+	return exit
+}

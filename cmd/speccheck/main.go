@@ -1,0 +1,127 @@
+// Command speccheck implements the paper's methodological motivation
+// (§1): property-list specifications risk underspecification, and the
+// hierarchy gives the specifier a checklist. Given a list of requirement
+// formulas, speccheck classifies each one, summarizes the coverage of
+// the hierarchy, and warns when a specification contains no liveness
+// (non-safety) requirement — the mutual-exclusion trap.
+//
+// Usage:
+//
+//	speccheck "G !(c1 & c2)" "G (w1 -> F c1)"
+//	speccheck -f spec.txt        # one formula per line, # comments
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	temporal "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "speccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("speccheck", flag.ContinueOnError)
+	file := fs.String("f", "", "file with one formula per line ('#' comments)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var inputs []string
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			inputs = append(inputs, line)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	inputs = append(inputs, fs.Args()...)
+	if len(inputs) == 0 {
+		return fmt.Errorf("no formulas given")
+	}
+
+	counts := map[temporal.Class]int{}
+	hasLiveness := false
+	fmt.Printf("%-36s %-12s %-9s %s\n", "requirement", "class", "liveness", "reading")
+	for _, in := range inputs {
+		f, err := temporal.ParseFormula(in)
+		if err != nil {
+			return fmt.Errorf("parse %q: %w", in, err)
+		}
+		c, err := temporal.Classify(f)
+		if err != nil {
+			return fmt.Errorf("classify %q: %w", in, err)
+		}
+		aut, err := temporal.CompileFormula(f, nil)
+		if err != nil {
+			return err
+		}
+		live := temporal.IsLiveness(aut)
+		hasLiveness = hasLiveness || live
+		counts[c.Lowest()]++
+		fmt.Printf("%-36s %-12v %-9v %s\n", in, c.Lowest(), live, reading(c.Lowest()))
+	}
+
+	fmt.Println()
+	fmt.Println("hierarchy coverage:")
+	for _, cl := range []temporal.Class{
+		temporal.Safety, temporal.Guarantee, temporal.Obligation,
+		temporal.Recurrence, temporal.Persistence, temporal.Reactivity,
+	} {
+		marker := " "
+		if counts[cl] > 0 {
+			marker = "x"
+		}
+		fmt.Printf("  [%s] %-12v %d requirement(s)\n", marker, cl, counts[cl])
+	}
+
+	fmt.Println()
+	if !hasLiveness {
+		fmt.Println("WARNING: every requirement is a safety property. A system that")
+		fmt.Println("does nothing satisfies this specification (the paper's mutual")
+		fmt.Println("exclusion trap). Consider adding a guarantee / response /")
+		fmt.Println("reactivity requirement for each obligation the system owes its")
+		fmt.Println("environment.")
+		os.Exit(2)
+	}
+	fmt.Println("specification contains liveness requirements — the do-nothing")
+	fmt.Println("implementation is excluded.")
+	return nil
+}
+
+func reading(c temporal.Class) string {
+	switch c {
+	case temporal.Safety:
+		return "something bad never happens"
+	case temporal.Guarantee:
+		return "something good happens at least once"
+	case temporal.Obligation:
+		return "conditional one-shot promise"
+	case temporal.Recurrence:
+		return "something good happens infinitely often"
+	case temporal.Persistence:
+		return "eventually the system stabilizes"
+	case temporal.Reactivity:
+		return "infinitely many stimuli get infinitely many responses"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,195 @@
+// Package alphabet defines symbols and finite alphabets for words,
+// languages, and automata.
+//
+// The paper treats computations as infinite sequences of abstract states.
+// Here a state is a Symbol drawn from a finite Alphabet. For temporal logic
+// over a set of atomic propositions AP, the alphabet is the set 2^AP of
+// proposition valuations; Valuation provides that encoding.
+package alphabet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is a single state of a computation (a letter of the alphabet).
+type Symbol string
+
+// Alphabet is an immutable, ordered finite set of symbols.
+type Alphabet struct {
+	symbols []Symbol
+	index   map[Symbol]int
+}
+
+// New builds an alphabet from the given symbols.
+// Duplicates are rejected; at least one symbol is required.
+func New(symbols ...Symbol) (*Alphabet, error) {
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("alphabet: need at least one symbol")
+	}
+	a := &Alphabet{
+		symbols: make([]Symbol, 0, len(symbols)),
+		index:   make(map[Symbol]int, len(symbols)),
+	}
+	for _, s := range symbols {
+		if _, dup := a.index[s]; dup {
+			return nil, fmt.Errorf("alphabet: duplicate symbol %q", s)
+		}
+		a.index[s] = len(a.symbols)
+		a.symbols = append(a.symbols, s)
+	}
+	return a, nil
+}
+
+// MustNew is New but panics on error. Intended for test fixtures and
+// package-level construction of known-good alphabets.
+func MustNew(symbols ...Symbol) *Alphabet {
+	a, err := New(symbols...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Letters builds an alphabet of single-character symbols from a string,
+// e.g. Letters("ab") = {a, b}.
+func Letters(s string) (*Alphabet, error) {
+	syms := make([]Symbol, 0, len(s))
+	for _, r := range s {
+		syms = append(syms, Symbol(string(r)))
+	}
+	return New(syms...)
+}
+
+// MustLetters is Letters but panics on error.
+func MustLetters(s string) *Alphabet {
+	a, err := Letters(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Size returns the number of symbols.
+func (a *Alphabet) Size() int { return len(a.symbols) }
+
+// Symbols returns a copy of the symbol list in index order.
+func (a *Alphabet) Symbols() []Symbol {
+	out := make([]Symbol, len(a.symbols))
+	copy(out, a.symbols)
+	return out
+}
+
+// Symbol returns the symbol with the given index.
+func (a *Alphabet) Symbol(i int) Symbol { return a.symbols[i] }
+
+// Index returns the index of s, or -1 if s is not in the alphabet.
+func (a *Alphabet) Index(s Symbol) int {
+	i, ok := a.index[s]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Contains reports whether s is a symbol of the alphabet.
+func (a *Alphabet) Contains(s Symbol) bool {
+	_, ok := a.index[s]
+	return ok
+}
+
+// Equal reports whether two alphabets have the same symbols in the same order.
+func (a *Alphabet) Equal(b *Alphabet) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i, s := range a.symbols {
+		if b.symbols[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the alphabet as {s1, s2, ...}.
+func (a *Alphabet) String() string {
+	parts := make([]string, len(a.symbols))
+	for i, s := range a.symbols {
+		parts[i] = string(s)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Valuation is a truth assignment to a finite set of atomic propositions.
+// It encodes to a canonical Symbol so that temporal-logic properties over AP
+// become languages over the alphabet 2^AP.
+type Valuation map[string]bool
+
+// Symbol renders the valuation as a canonical symbol: the sorted list of
+// true propositions inside braces, e.g. {p,q}. The empty valuation is {}.
+func (v Valuation) Symbol() Symbol {
+	trueProps := make([]string, 0, len(v))
+	for p, b := range v {
+		if b {
+			trueProps = append(trueProps, p)
+		}
+	}
+	sort.Strings(trueProps)
+	return Symbol("{" + strings.Join(trueProps, ",") + "}")
+}
+
+// Holds reports whether proposition p is true in the valuation.
+func (v Valuation) Holds(p string) bool { return v[p] }
+
+// ParseValuation inverts Valuation.Symbol: it parses a symbol of the form
+// {p,q,...} into the set of true propositions. Propositions not listed are
+// false (absent from the map).
+func ParseValuation(s Symbol) (Valuation, error) {
+	str := string(s)
+	if len(str) < 2 || str[0] != '{' || str[len(str)-1] != '}' {
+		return nil, fmt.Errorf("alphabet: %q is not a valuation symbol", s)
+	}
+	v := Valuation{}
+	body := str[1 : len(str)-1]
+	if body == "" {
+		return v, nil
+	}
+	for _, p := range strings.Split(body, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("alphabet: empty proposition in %q", s)
+		}
+		v[p] = true
+	}
+	return v, nil
+}
+
+// Valuations builds the full alphabet 2^AP for the given propositions, in a
+// deterministic order: subsets enumerated as binary counters over the sorted
+// proposition list (all-false first).
+func Valuations(props []string) (*Alphabet, error) {
+	if len(props) > 16 {
+		return nil, fmt.Errorf("alphabet: too many propositions (%d > 16)", len(props))
+	}
+	sorted := make([]string, len(props))
+	copy(sorted, props)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("alphabet: duplicate proposition %q", sorted[i])
+		}
+	}
+	n := 1 << len(sorted)
+	syms := make([]Symbol, 0, n)
+	for mask := 0; mask < n; mask++ {
+		v := Valuation{}
+		for bit, p := range sorted {
+			if mask&(1<<bit) != 0 {
+				v[p] = true
+			}
+		}
+		syms = append(syms, v.Symbol())
+	}
+	return New(syms...)
+}

@@ -1,0 +1,171 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("New() with no symbols should fail")
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New("a", "b", "a"); err == nil {
+		t.Fatal("New with duplicate symbols should fail")
+	}
+}
+
+func TestLetters(t *testing.T) {
+	a, err := Letters("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", a.Size())
+	}
+	for i, want := range []Symbol{"a", "b", "c"} {
+		if got := a.Symbol(i); got != want {
+			t.Errorf("Symbol(%d) = %q, want %q", i, got, want)
+		}
+		if got := a.Index(want); got != i {
+			t.Errorf("Index(%q) = %d, want %d", want, got, i)
+		}
+	}
+	if a.Index("z") != -1 {
+		t.Error("Index of absent symbol should be -1")
+	}
+	if !a.Contains("b") || a.Contains("z") {
+		t.Error("Contains misreports membership")
+	}
+}
+
+func TestLettersRejectsDuplicates(t *testing.T) {
+	if _, err := Letters("aa"); err == nil {
+		t.Fatal("Letters(\"aa\") should fail")
+	}
+}
+
+func TestSymbolsReturnsCopy(t *testing.T) {
+	a := MustLetters("ab")
+	syms := a.Symbols()
+	syms[0] = "z"
+	if a.Symbol(0) != "a" {
+		t.Fatal("Symbols() must return a copy")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b *Alphabet
+		want bool
+	}{
+		{"same", MustLetters("ab"), MustLetters("ab"), true},
+		{"different order", MustLetters("ab"), MustLetters("ba"), false},
+		{"different size", MustLetters("ab"), MustLetters("abc"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := MustLetters("ab").String(); got != "{a, b}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValuationSymbolCanonical(t *testing.T) {
+	v1 := Valuation{"q": true, "p": true}
+	v2 := Valuation{"p": true, "q": true, "r": false}
+	if v1.Symbol() != v2.Symbol() {
+		t.Errorf("equal valuations render differently: %q vs %q", v1.Symbol(), v2.Symbol())
+	}
+	if got := v1.Symbol(); got != "{p,q}" {
+		t.Errorf("Symbol = %q, want {p,q}", got)
+	}
+	empty := Valuation{}
+	if got := empty.Symbol(); got != "{}" {
+		t.Errorf("empty valuation Symbol = %q, want {}", got)
+	}
+}
+
+func TestParseValuationRoundTrip(t *testing.T) {
+	v := Valuation{"p": true, "r": true}
+	got, err := ParseValuation(v.Symbol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Holds("p") || !got.Holds("r") || got.Holds("q") {
+		t.Errorf("round trip lost propositions: %v", got)
+	}
+}
+
+func TestParseValuationErrors(t *testing.T) {
+	for _, bad := range []Symbol{"", "p", "{p", "p}", "{p,,q}"} {
+		if _, err := ParseValuation(bad); err == nil {
+			t.Errorf("ParseValuation(%q) should fail", bad)
+		}
+	}
+}
+
+func TestValuations(t *testing.T) {
+	a, err := Valuations([]string{"q", "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 4 {
+		t.Fatalf("2^2 alphabet has size %d, want 4", a.Size())
+	}
+	want := []Symbol{"{}", "{p}", "{q}", "{p,q}"}
+	for i, w := range want {
+		if got := a.Symbol(i); got != w {
+			t.Errorf("Symbol(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestValuationsRejectsDuplicates(t *testing.T) {
+	if _, err := Valuations([]string{"p", "p"}); err == nil {
+		t.Fatal("duplicate propositions should fail")
+	}
+}
+
+func TestValuationsRejectsTooMany(t *testing.T) {
+	props := make([]string, 17)
+	for i := range props {
+		props[i] = string(rune('a' + i))
+	}
+	if _, err := Valuations(props); err == nil {
+		t.Fatal("17 propositions should fail")
+	}
+}
+
+func TestValuationSymbolParseInverse(t *testing.T) {
+	f := func(p, q, r bool) bool {
+		v := Valuation{}
+		if p {
+			v["p"] = true
+		}
+		if q {
+			v["q"] = true
+		}
+		if r {
+			v["r"] = true
+		}
+		got, err := ParseValuation(v.Symbol())
+		if err != nil {
+			return false
+		}
+		return got.Holds("p") == p && got.Holds("q") == q && got.Holds("r") == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

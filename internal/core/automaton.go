@@ -1,0 +1,141 @@
+package core
+
+import (
+	"repro/internal/omega"
+)
+
+// ClassifyAutomaton classifies the property specified by a deterministic
+// Streett automaton into the hierarchy — the decision procedures of §5.1.
+//
+// The procedures are semantic: they decide the class of the *property*,
+// not the syntactic shape of the automaton, and agree with the paper's
+// structural checks on reduced automata.
+//
+//   - safety (closed): no accessible rejecting cycle within the live
+//     region — every run that stays inside Pref(Π) forever is accepted.
+//   - guarantee (open): dually, no accessible accepting cycle within the
+//     co-live region.
+//   - recurrence (G_δ, Landweber): the accepting family F is closed under
+//     accessible supersets: no rejecting cycle contains an accepting one.
+//   - persistence (F_σ): F is closed under accessible subsets.
+//   - obligation: recurrence ∧ persistence (the paper's
+//     "obligation = recurrence ∩ persistence").
+//   - ranks: Wagner's alternating chains (see chains.go).
+func ClassifyAutomaton(a *omega.Automaton) Classification {
+	reach := a.Reachable()
+	live := a.LiveStates()
+	coLive := a.CoLiveStates()
+	n := a.NumStates()
+
+	liveReach := make([]bool, n)
+	coLiveReach := make([]bool, n)
+	for q := 0; q < n; q++ {
+		liveReach[q] = reach[q] && live[q]
+		coLiveReach[q] = reach[q] && coLive[q]
+	}
+
+	c := Classification{Reactivity: true}
+	c.Safety = a.RejectingCycleWithin(liveReach) == nil
+	c.Guarantee = a.AcceptingCycleWithin(coLiveReach) == nil
+	c.Recurrence = isRecurrence(a, reach)
+	c.Persistence = isPersistence(a, reach)
+	// Safety and guarantee are contained in recurrence and persistence;
+	// the semantic procedures agree, but make the containment structural.
+	if c.Safety || c.Guarantee {
+		c.Recurrence = true
+		c.Persistence = true
+	}
+	c.Obligation = c.Recurrence && c.Persistence
+
+	c.ReactivityRank = reactivityRank(a, reach)
+	if c.Obligation {
+		c.ObligationRank = obligationRank(a, reach)
+	}
+	return c
+}
+
+// isRecurrence checks Landweber's G_δ condition: there must be no
+// accessible rejecting cycle A containing an accepting cycle J. A breaks
+// some pair i (A ∩ R_i = ∅, A ⊄ P_i), so A lives inside a strongly
+// connected component S of the graph restricted to reachable states
+// outside R_i with S ⊄ P_i; conversely any accepting J inside such an S
+// extends to a violating A by routing through a ¬P_i state of S.
+func isRecurrence(a *omega.Automaton, reach []bool) bool {
+	n := a.NumStates()
+	for i := 0; i < a.NumPairs(); i++ {
+		r, p := a.PairVectors(i)
+		allowed := make([]bool, n)
+		for q := 0; q < n; q++ {
+			allowed[q] = reach[q] && !r[q]
+		}
+		for _, comp := range a.SCCs(allowed) {
+			if !a.IsCyclic(comp) {
+				continue
+			}
+			outside := false
+			for _, q := range comp {
+				if !p[q] {
+					outside = true
+					break
+				}
+			}
+			if !outside {
+				continue
+			}
+			if a.AcceptingCycleWithin(a.StateSet(comp)) != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isPersistence checks the F_σ condition: no accessible accepting cycle A
+// contains a rejecting cycle J. The search mirrors the Streett emptiness
+// refinement: an accepting cycle inside a component S either is S itself
+// (when S is accepting — then any rejecting subcycle of S violates), or
+// lies inside the P-restriction of S's broken pairs.
+func isPersistence(a *omega.Automaton, reach []bool) bool {
+	return !persistenceViolationWithin(a, reach)
+}
+
+func persistenceViolationWithin(a *omega.Automaton, allowed []bool) bool {
+	for _, comp := range a.SCCs(allowed) {
+		if !a.IsCyclic(comp) {
+			continue
+		}
+		if persistenceViolationInSCC(a, comp) {
+			return true
+		}
+	}
+	return false
+}
+
+func persistenceViolationInSCC(a *omega.Automaton, comp []int) bool {
+	bad := a.BrokenPairs(comp)
+	if len(bad) == 0 {
+		// comp itself is an accepting cycle: a violation exists iff it
+		// contains any rejecting cycle.
+		return a.RejectingCycleWithin(a.StateSet(comp)) != nil
+	}
+	restricted := make([]bool, a.NumStates())
+	count := 0
+	for _, q := range comp {
+		keep := true
+		for _, i := range bad {
+			_, p := a.PairVectors(i)
+			if !p[q] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			restricted[q] = true
+			count++
+		}
+	}
+	if count == 0 {
+		return false
+	}
+	return persistenceViolationWithin(a, restricted)
+}

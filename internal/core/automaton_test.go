@@ -1,0 +1,308 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/eval"
+	"repro/internal/lang"
+	"repro/internal/omega"
+)
+
+var (
+	ab  = alphabet.MustLetters("ab")
+	abc = alphabet.MustLetters("abc")
+)
+
+// The paper's §2 canonical examples, one per basic class.
+func TestClassifyCanonicalExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		a    *omega.Automaton
+		want map[core.Class]bool
+	}{
+		{
+			// a^ω + a⁺b^ω = A(a⁺b*): safety, hence everything above; not
+			// guarantee (not open).
+			name: "A(a+b*)",
+			a:    lang.A(lang.MustRegex("a^+b*", ab)),
+			want: map[core.Class]bool{
+				core.Safety: true, core.Guarantee: false, core.Obligation: true,
+				core.Recurrence: true, core.Persistence: true, core.Reactivity: true,
+			},
+		},
+		{
+			// Σ*bΣ^ω = E(Σ*b) = ◇b: guarantee, not safety.
+			name: "E(Σ*b)",
+			a:    lang.E(lang.MustRegex(".*b", ab)),
+			want: map[core.Class]bool{
+				core.Safety: false, core.Guarantee: true, core.Obligation: true,
+				core.Recurrence: true, core.Persistence: true, core.Reactivity: true,
+			},
+		},
+		{
+			// a⁺b*Σ^ω = E(a⁺b*) = aΣ^ω is clopen: determined by the first
+			// letter, hence both safety and guarantee.
+			name: "E(a+b*) clopen",
+			a:    lang.E(lang.MustRegex("a^+b*", ab)),
+			want: map[core.Class]bool{
+				core.Safety: true, core.Guarantee: true, core.Obligation: true,
+				core.Recurrence: true, core.Persistence: true, core.Reactivity: true,
+			},
+		},
+		{
+			// (a*b)^ω = R(Σ*b): recurrence, not persistence, not obligation.
+			name: "R(Σ*b)",
+			a:    lang.R(lang.MustRegex(".*b", ab)),
+			want: map[core.Class]bool{
+				core.Safety: false, core.Guarantee: false, core.Obligation: false,
+				core.Recurrence: true, core.Persistence: false, core.Reactivity: true,
+			},
+		},
+		{
+			// Σ*b^ω = P(Σ*b): persistence, not recurrence.
+			name: "P(Σ*b)",
+			a:    lang.P(lang.MustRegex(".*b", ab)),
+			want: map[core.Class]bool{
+				core.Safety: false, core.Guarantee: false, core.Obligation: false,
+				core.Recurrence: false, core.Persistence: true, core.Reactivity: true,
+			},
+		},
+		{
+			// Trivial properties are in every class.
+			name: "universal",
+			a:    omega.Universal(ab),
+			want: map[core.Class]bool{
+				core.Safety: true, core.Guarantee: true, core.Obligation: true,
+				core.Recurrence: true, core.Persistence: true, core.Reactivity: true,
+			},
+		},
+		{
+			name: "empty",
+			a:    omega.Empty(ab),
+			want: map[core.Class]bool{
+				core.Safety: true, core.Guarantee: true, core.Obligation: true,
+				core.Recurrence: true, core.Persistence: true, core.Reactivity: true,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := core.ClassifyAutomaton(tt.a)
+			for cl, want := range tt.want {
+				if got.In(cl) != want {
+					t.Errorf("In(%v) = %v, want %v (full: %+v)", cl, got.In(cl), want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestClassifySimpleObligation(t *testing.T) {
+	// a^ω ∪ Σ*cΣ^ω over {a,b,c}: a strict obligation — neither safety nor
+	// guarantee, but both recurrence and persistence.
+	ob, err := lang.SimpleObligation(lang.MustRegex("a^+", abc), lang.MustRegex(".*c", abc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.ClassifyAutomaton(ob)
+	if c.Safety || c.Guarantee {
+		t.Errorf("strict obligation misclassified: %+v", c)
+	}
+	if !c.Obligation || !c.Recurrence || !c.Persistence {
+		t.Errorf("obligation must be in obligation/recurrence/persistence: %+v", c)
+	}
+	if c.Lowest() != core.Obligation {
+		t.Errorf("Lowest = %v, want obligation", c.Lowest())
+	}
+	if c.ObligationRank != 1 {
+		t.Errorf("ObligationRank = %d, want 1", c.ObligationRank)
+	}
+	if c.ReactivityRank != 1 {
+		t.Errorf("ReactivityRank = %d, want 1", c.ReactivityRank)
+	}
+}
+
+func TestClassifySimpleReactivity(t *testing.T) {
+	// R(Σ*a) ∪ P(Σ*b) over {a,b,c}: strict simple reactivity.
+	sr, err := lang.SimpleReactivity(lang.MustRegex(".*a", abc), lang.MustRegex(".*b", abc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.ClassifyAutomaton(sr)
+	if c.Recurrence || c.Persistence || c.Obligation || c.Safety || c.Guarantee {
+		t.Errorf("strict reactivity misclassified: %+v", c)
+	}
+	if c.Lowest() != core.Reactivity {
+		t.Errorf("Lowest = %v", c.Lowest())
+	}
+	if c.ReactivityRank != 1 {
+		t.Errorf("ReactivityRank = %d, want 1", c.ReactivityRank)
+	}
+}
+
+func TestClassifyRecurrencePersistenceRanks(t *testing.T) {
+	r := core.ClassifyAutomaton(lang.R(lang.MustRegex(".*b", ab)))
+	if r.ReactivityRank != 1 {
+		t.Errorf("recurrence reactivity rank = %d, want 1", r.ReactivityRank)
+	}
+	if r.ObligationRank != 0 {
+		t.Errorf("non-obligation should have rank 0, got %d", r.ObligationRank)
+	}
+	p := core.ClassifyAutomaton(lang.P(lang.MustRegex(".*b", ab)))
+	if p.ReactivityRank != 1 {
+		t.Errorf("persistence reactivity rank = %d, want 1", p.ReactivityRank)
+	}
+}
+
+// TestObligationRankFamily exercises the strict Obl_k hierarchy with the
+// Hausdorff-difference witness family X_k = {σ : the number of c's is
+// finite, odd, and < 2k}: its minimal obligation-automaton degree is k.
+func TestObligationRankFamily(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		a := oddCAutomaton(t, k)
+		c := core.ClassifyAutomaton(a)
+		if !c.Obligation {
+			t.Fatalf("k=%d: X_k should be an obligation property: %+v", k, c)
+		}
+		if c.Safety || c.Guarantee {
+			t.Fatalf("k=%d: X_k should be a strict obligation", k)
+		}
+		if c.ObligationRank != k {
+			t.Errorf("k=%d: ObligationRank = %d, want %d", k, c.ObligationRank, k)
+		}
+		if c.ReactivityRank != 1 {
+			t.Errorf("k=%d: obligation property should have reactivity rank 1, got %d", k, c.ReactivityRank)
+		}
+	}
+}
+
+// oddCAutomaton builds the automaton for X_k over {c,d}: count c's up to
+// 2k (saturating); accept runs whose total c-count is odd and < 2k.
+func oddCAutomaton(t *testing.T, k int) *omega.Automaton {
+	t.Helper()
+	cd := alphabet.MustLetters("cd")
+	n := 2*k + 1 // counts 0..2k, last saturating
+	trans := make([][]int, n)
+	for i := 0; i < n; i++ {
+		next := i + 1
+		if next >= n {
+			next = n - 1
+		}
+		trans[i] = []int{next, i} // c increments (saturating), d stays
+	}
+	pair := omega.Pair{R: make([]bool, n), P: make([]bool, n)}
+	for i := 0; i < n-1; i++ {
+		if i%2 == 1 {
+			pair.P[i] = true // stabilizing on an odd count < 2k accepts
+		}
+	}
+	return omega.MustNew(cd, trans, 0, []omega.Pair{pair})
+}
+
+// lastHolds builds the finitary property "the last state satisfies prop"
+// over a valuation alphabet.
+func lastHolds(t *testing.T, alpha *alphabet.Alphabet, prop string) *lang.Property {
+	t.Helper()
+	k := alpha.Size()
+	trans := make([][]int, 2)
+	for q := 0; q < 2; q++ {
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			if eval.HoldsAtSymbol(alpha.Symbol(s), prop) {
+				row[s] = 1
+			}
+		}
+		trans[q] = row
+	}
+	d, err := dfa.New(alpha, trans, 0, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lang.FromDFA(d)
+}
+
+// TestReactivityRankFamily exercises the strict reactivity hierarchy: the
+// paper's ⋀ᵢ(□◇pᵢ ∨ ◇□qᵢ) with uninterpreted (independent) propositions
+// has reactivity rank exactly n.
+func TestReactivityRankFamily(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		var props []string
+		for i := 0; i < n; i++ {
+			props = append(props, "p"+string(rune('1'+i)), "q"+string(rune('1'+i)))
+		}
+		alpha, err := alphabet.Valuations(props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autos := make([]*omega.Automaton, n)
+		for i := 0; i < n; i++ {
+			sr, err := lang.SimpleReactivity(
+				lastHolds(t, alpha, "p"+string(rune('1'+i))),
+				lastHolds(t, alpha, "q"+string(rune('1'+i))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			autos[i] = sr
+		}
+		prod, err := omega.IntersectAll(autos...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := core.ClassifyAutomaton(prod)
+		if c.ReactivityRank != n {
+			t.Errorf("n=%d: ReactivityRank = %d, want %d", n, c.ReactivityRank, n)
+		}
+		if n > 1 && (c.Recurrence || c.Persistence) {
+			t.Errorf("n=%d: conjunction should be strictly reactive: %+v", n, c)
+		}
+	}
+}
+
+// TestClassificationAgreesWithCharacterization cross-checks the safety
+// procedure against the paper's characterization Π safety ⇔ Π = cl(Π) on
+// a mixed corpus.
+func TestClassificationAgreesWithCharacterization(t *testing.T) {
+	corpus := []*omega.Automaton{
+		lang.A(lang.MustRegex("a^+b*", ab)),
+		lang.E(lang.MustRegex(".*b", ab)),
+		lang.R(lang.MustRegex(".*b", ab)),
+		lang.P(lang.MustRegex(".*a", ab)),
+		omega.Universal(ab),
+		omega.Empty(ab),
+	}
+	for i, a := range corpus {
+		c := core.ClassifyAutomaton(a)
+		eq, _, err := a.Equivalent(a.SafetyClosure())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Safety != eq {
+			t.Errorf("corpus[%d]: classifier safety=%v but closure-equality=%v", i, c.Safety, eq)
+		}
+	}
+}
+
+func TestClassificationHelpers(t *testing.T) {
+	c := core.ClassifyAutomaton(lang.R(lang.MustRegex(".*b", ab)))
+	classes := c.Classes()
+	if len(classes) != 2 || classes[0] != core.Recurrence || classes[1] != core.Reactivity {
+		t.Errorf("Classes = %v", classes)
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+	if c.In(core.Class(99)) {
+		t.Error("unknown class should not match")
+	}
+	if core.Class(99).String() == "" {
+		t.Error("unknown class should print")
+	}
+	for _, cl := range []core.Class{core.Safety, core.Guarantee, core.Obligation, core.Recurrence, core.Persistence, core.Reactivity} {
+		if cl.String() == "" {
+			t.Errorf("class %d has empty name", cl)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package core implements the paper's contribution: the safety–progress
+// hierarchy of temporal properties (safety, guarantee, obligation,
+// recurrence, persistence, reactivity) with its four views.
+//
+//   - Automata view (§5, §5.1): semantic decision procedures that classify
+//     the property specified by a deterministic Streett automaton, plus
+//     exact obligation/reactivity ranks via Wagner's alternating chains of
+//     accessible cycles.
+//   - Temporal-logic view (§4): a normalizer that rewrites formulas into
+//     the canonical forms □p, ◇p, ⋀(□pᵢ∨◇qᵢ), □◇p, ◇□p, ⋀(□◇pᵢ∨◇□qᵢ)
+//     with past arguments, a syntactic classifier, and a compiler from
+//     formulas to Streett automata (Prop. 5.3).
+//   - Linguistic view (§2): re-exported through package lang; the
+//     classifiers here accept any automaton built by lang.A/E/R/P.
+//   - Safety–liveness (§2, [AS85]): the orthogonal classification —
+//     liveness/uniform-liveness tests and the Π = Π_S ∩ Π_L decomposition.
+package core
+
+import "fmt"
+
+// Class is a level of the hierarchy. The levels are ordered by
+// containment: Safety ⊂ {Guarantee dual}, both ⊂ Obligation ⊂
+// {Recurrence, Persistence} ⊂ Reactivity. Safety and Guarantee are
+// incomparable duals, as are Recurrence and Persistence; Class values are
+// ordered by the diagram height for reporting.
+type Class int
+
+// The six classes of the hierarchy (Figure 1 of the paper).
+const (
+	Safety Class = iota + 1
+	Guarantee
+	Obligation
+	Recurrence
+	Persistence
+	Reactivity
+)
+
+func (c Class) String() string {
+	switch c {
+	case Safety:
+		return "safety"
+	case Guarantee:
+		return "guarantee"
+	case Obligation:
+		return "obligation"
+	case Recurrence:
+		return "recurrence"
+	case Persistence:
+		return "persistence"
+	case Reactivity:
+		return "reactivity"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classification records, for one property, membership in every class of
+// the hierarchy (membership is hereditary upward: a safety property is
+// also an obligation, recurrence, persistence and reactivity property),
+// plus the exact ranks inside the two infinite subhierarchies.
+type Classification struct {
+	Safety      bool
+	Guarantee   bool
+	Obligation  bool
+	Recurrence  bool
+	Persistence bool
+	Reactivity  bool // always true for Streett-specifiable properties
+
+	// ObligationRank is the minimal n such that the property is in Obl_n
+	// (0 when the property is not an obligation property).
+	ObligationRank int
+	// ReactivityRank is the minimal n such that the property is
+	// expressible as a conjunction of n simple reactivity properties.
+	ReactivityRank int
+}
+
+// In reports membership in the given class.
+func (c Classification) In(cl Class) bool {
+	switch cl {
+	case Safety:
+		return c.Safety
+	case Guarantee:
+		return c.Guarantee
+	case Obligation:
+		return c.Obligation
+	case Recurrence:
+		return c.Recurrence
+	case Persistence:
+		return c.Persistence
+	case Reactivity:
+		return c.Reactivity
+	default:
+		return false
+	}
+}
+
+// Lowest returns the least class of the hierarchy containing the
+// property, preferring the lower side of each incomparable pair in the
+// order safety, guarantee, obligation, recurrence, persistence,
+// reactivity.
+func (c Classification) Lowest() Class {
+	switch {
+	case c.Safety:
+		return Safety
+	case c.Guarantee:
+		return Guarantee
+	case c.Obligation:
+		return Obligation
+	case c.Recurrence:
+		return Recurrence
+	case c.Persistence:
+		return Persistence
+	default:
+		return Reactivity
+	}
+}
+
+// Classes lists every class the property belongs to, lowest first.
+func (c Classification) Classes() []Class {
+	var out []Class
+	for _, cl := range []Class{Safety, Guarantee, Obligation, Recurrence, Persistence, Reactivity} {
+		if c.In(cl) {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+func (c Classification) String() string {
+	return fmt.Sprintf("%v (obligation rank %d, reactivity rank %d)",
+		c.Lowest(), c.ObligationRank, c.ReactivityRank)
+}

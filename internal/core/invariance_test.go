@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/omega"
+)
+
+// TestClassificationIsSemantic verifies that the classification depends
+// only on the language, not on the presentation: different automata for
+// the same property (raw, trimmed, canonicalized, padded with unreachable
+// states) classify identically.
+func TestClassificationIsSemantic(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for i := 0; i < 30; i++ {
+		a := gen.RandomStreett(rng, ab, 3+rng.Intn(4), 1, 0.3, 0.4)
+		want := core.ClassifyAutomaton(a)
+
+		variants := []*omega.Automaton{a.Trim(), padWithJunk(t, a)}
+		if c, err := a.ToRecurrenceAutomaton(); err == nil {
+			variants = append(variants, c)
+		}
+		if c, err := a.ToPersistenceAutomaton(); err == nil {
+			variants = append(variants, c)
+		}
+		if c, err := a.ToSafetyAutomaton(); err == nil {
+			variants = append(variants, c)
+		}
+		for vi, v := range variants {
+			got := core.ClassifyAutomaton(v)
+			if got.Safety != want.Safety || got.Guarantee != want.Guarantee ||
+				got.Obligation != want.Obligation || got.Recurrence != want.Recurrence ||
+				got.Persistence != want.Persistence {
+				t.Fatalf("iter %d variant %d: classification changed: %+v vs %+v",
+					i, vi, got, want)
+			}
+		}
+	}
+}
+
+// padWithJunk adds unreachable states with arbitrary acceptance markers —
+// they must not affect the (reachability-aware) classification.
+func padWithJunk(t *testing.T, a *omega.Automaton) *omega.Automaton {
+	t.Helper()
+	n := a.NumStates()
+	k := a.Alphabet().Size()
+	trans := make([][]int, n+2)
+	for q := 0; q < n; q++ {
+		trans[q] = a.Successors(q)
+	}
+	// Two junk states looping among themselves.
+	rowA := make([]int, k)
+	rowB := make([]int, k)
+	for s := 0; s < k; s++ {
+		rowA[s] = n + 1
+		rowB[s] = n
+	}
+	trans[n] = rowA
+	trans[n+1] = rowB
+	pairs := a.Pairs()
+	for i := range pairs {
+		pairs[i].R = append(pairs[i].R, true, false)
+		pairs[i].P = append(pairs[i].P, false, true)
+	}
+	out, err := omega.New(a.Alphabet(), trans, a.Start(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

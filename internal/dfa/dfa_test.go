@@ -1,0 +1,478 @@
+package dfa_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dfa"
+	"repro/internal/regex"
+	"repro/internal/word"
+)
+
+var ab = alphabet.MustLetters("ab")
+
+// allWords enumerates all words over alpha with 1 ≤ length ≤ maxLen.
+func allWords(alpha *alphabet.Alphabet, maxLen int) []word.Finite {
+	var out []word.Finite
+	var frontier []word.Finite
+	frontier = append(frontier, word.Finite{})
+	for l := 1; l <= maxLen; l++ {
+		var next []word.Finite
+		for _, w := range frontier {
+			for _, s := range alpha.Symbols() {
+				nw := append(append(word.Finite{}, w...), s)
+				out = append(out, nw)
+				next = append(next, nw)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func sameLanguageUpTo(t *testing.T, d, e *dfa.DFA, maxLen int, label string) {
+	t.Helper()
+	for _, w := range allWords(d.Alphabet(), maxLen) {
+		if d.Accepts(w) != e.Accepts(w) {
+			t.Fatalf("%s: disagreement on %v: %v vs %v", label, w, d.Accepts(w), e.Accepts(w))
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		trans  [][]int
+		start  int
+		accept []bool
+	}{
+		{"no states", nil, 0, nil},
+		{"bad accept len", [][]int{{0, 0}}, 0, []bool{true, false}},
+		{"bad start", [][]int{{0, 0}}, 1, []bool{true}},
+		{"incomplete row", [][]int{{0}}, 0, []bool{true}},
+		{"out of range target", [][]int{{0, 3}}, 0, []bool{true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := dfa.New(ab, tt.trans, tt.start, tt.accept); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestAcceptsBasics(t *testing.T) {
+	// DFA for a⁺b*: state 0 start, 1 after a's, 2 after b's, 3 dead.
+	d := dfa.MustNew(ab, [][]int{
+		{1, 3},
+		{1, 2},
+		{3, 2},
+		{3, 3},
+	}, 0, []bool{false, true, true, false})
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"a", true}, {"aa", true}, {"ab", true}, {"abb", true},
+		{"b", false}, {"ba", false}, {"aba", false}, {"", false},
+	}
+	for _, tt := range tests {
+		if got := d.AcceptsString(tt.in); got != tt.want {
+			t.Errorf("Accepts(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if d.Accepts(word.FiniteFromString("az")) {
+		t.Error("foreign symbol should not be accepted")
+	}
+}
+
+func TestProductOps(t *testing.T) {
+	aPlus := regex.MustCompileString("a^+", ab)  // a⁺
+	endsB := regex.MustCompileString(".*b", ab)  // Σ*b
+	hasA := regex.MustCompileString(".*a.*", ab) // contains a
+	union, err := aPlus.Union(endsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := hasA.Intersect(endsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := endsB.Minus(hasA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range allWords(ab, 6) {
+		inA, inB, inH := aPlus.Accepts(w), endsB.Accepts(w), hasA.Accepts(w)
+		if union.Accepts(w) != (inA || inB) {
+			t.Fatalf("union wrong on %v", w)
+		}
+		if inter.Accepts(w) != (inH && inB) {
+			t.Fatalf("intersection wrong on %v", w)
+		}
+		if minus.Accepts(w) != (inB && !inH) {
+			t.Fatalf("minus wrong on %v", w)
+		}
+	}
+}
+
+func TestProductAlphabetMismatch(t *testing.T) {
+	abc := alphabet.MustLetters("abc")
+	d := regex.MustCompileString("a", ab)
+	e := regex.MustCompileString("a", abc)
+	if _, err := d.Product(e, dfa.OpAnd); err == nil {
+		t.Fatal("product over mismatched alphabets should fail")
+	}
+	if _, err := d.Minex(e); err == nil {
+		t.Fatal("minex over mismatched alphabets should fail")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := regex.MustCompileString("a.*", ab)
+	c := d.Complement()
+	for _, w := range allWords(ab, 5) {
+		if c.Accepts(w) == d.Accepts(w) {
+			t.Fatalf("complement not disjoint on %v", w)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	// (a+b)*b and Σ*b are the same language.
+	d := regex.MustCompileString("(a+b)*b", ab)
+	e := regex.MustCompileString(".*b", ab)
+	eq, err := d.Equal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("(a+b)*b should equal .*b")
+	}
+	f := regex.MustCompileString(".*a", ab)
+	eq, err = d.Equal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error(".*b should not equal .*a")
+	}
+}
+
+func TestIsEmptyAndUniversal(t *testing.T) {
+	empty := regex.MustCompileString("0", ab)
+	if !empty.IsEmpty() {
+		t.Error("∅ should be empty")
+	}
+	all := regex.MustCompileString(".^+", ab)
+	if all.IsEmpty() {
+		t.Error("Σ⁺ should not be empty")
+	}
+	if !all.IsUniversal() {
+		t.Error("Σ⁺ should be universal")
+	}
+	if empty.IsUniversal() {
+		t.Error("∅ should not be universal")
+	}
+	// ε-only language is empty within Σ⁺.
+	epsOnly := regex.MustCompileString("ε", ab)
+	if !epsOnly.IsEmpty() {
+		t.Error("{ε} ∩ Σ⁺ should be empty")
+	}
+}
+
+func TestShortestAccepted(t *testing.T) {
+	d := regex.MustCompileString("aab+ba", ab)
+	w := d.ShortestAccepted()
+	if w.String() != "ba" {
+		t.Errorf("ShortestAccepted = %v, want ba", w)
+	}
+	if regex.MustCompileString("0", ab).ShortestAccepted() != nil {
+		t.Error("empty language should have no witness")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	d := regex.MustCompileString("a^+", ab)
+	got := d.Enumerate(3)
+	var strs []string
+	for _, w := range got {
+		strs = append(strs, w.String())
+	}
+	sort.Strings(strs)
+	want := []string{"a", "aa", "aaa"}
+	if len(strs) != len(want) {
+		t.Fatalf("Enumerate = %v, want %v", strs, want)
+	}
+	for i := range want {
+		if strs[i] != want[i] {
+			t.Fatalf("Enumerate = %v, want %v", strs, want)
+		}
+	}
+}
+
+func TestMinimizeCanonical(t *testing.T) {
+	// Two different presentations of the same language minimize to
+	// identical automata (same size, same language).
+	d := regex.MustCompileString("(a+b)*b(a+b)*", ab).Minimize()
+	e := regex.MustCompileString(".*b.*", ab).Minimize()
+	if d.NumStates() != e.NumStates() {
+		t.Fatalf("minimal sizes differ: %d vs %d", d.NumStates(), e.NumStates())
+	}
+	sameLanguageUpTo(t, d, e, 6, "minimize")
+	// Contains-b needs exactly 2 states.
+	if d.NumStates() != 2 {
+		t.Errorf("minimal DFA for Σ*bΣ* has %d states, want 2", d.NumStates())
+	}
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	exprs := []string{"a^+b*", "(ab)^+", "a*b*a*", "(a+ba)*", "a^3(b+a)^2"}
+	for _, expr := range exprs {
+		d := regex.MustCompileString(expr, ab)
+		m := d.Minimize()
+		sameLanguageUpTo(t, d, m, 6, expr)
+		if m.NumStates() > d.NumStates() {
+			t.Errorf("%s: minimize grew the automaton", expr)
+		}
+	}
+}
+
+func TestPrefixClosedSubset(t *testing.T) {
+	// A_f(a⁺b*) = a⁺b* (the paper's example: the language is already
+	// prefix-closed within Σ⁺).
+	d := regex.MustCompileString("a^+b*", ab)
+	af := d.PrefixClosedSubset()
+	sameLanguageUpTo(t, af, d, 6, "A_f(a+b*)")
+
+	// A_f(Σ*b) = ∅: the first prefix of any word in Σ*b of length ≥ 2
+	// fails; the single word "b" has all prefixes in Σ*b, so A_f = {b}...
+	// prefixes of "b" = {b} ⊆ Σ*b, so "b" survives.
+	e := regex.MustCompileString(".*b", ab)
+	aeWant := regex.MustCompileString("b^+", ab)
+	sameLanguageUpTo(t, e.PrefixClosedSubset(), aeWant, 6, "A_f(Σ*b)")
+}
+
+func TestExtensionClosure(t *testing.T) {
+	// E_f(a⁺b*) = a⁺b*Σ* = aΣ*.
+	d := regex.MustCompileString("a^+b*", ab)
+	want := regex.MustCompileString("a.*", ab)
+	sameLanguageUpTo(t, d.ExtensionClosure(), want, 6, "E_f(a+b*)")
+}
+
+func TestPrefixes(t *testing.T) {
+	// Prefixes of a⁺b⁺: a⁺b* minus nothing... every prefix of a^i b^j
+	// (non-empty) is a^k or a^i b^k: language a⁺b*.
+	d := regex.MustCompileString("a^+b^+", ab)
+	want := regex.MustCompileString("a^+b*", ab)
+	sameLanguageUpTo(t, d.Prefixes(), want, 6, "Pref(a+b+)")
+}
+
+func TestPrefixFreeKernel(t *testing.T) {
+	// Kernel of a⁺ is {a}.
+	d := regex.MustCompileString("a^+", ab)
+	want := regex.MustCompileString("a", ab)
+	sameLanguageUpTo(t, d.PrefixFreeKernel(), want, 6, "kernel(a+)")
+
+	// Kernel of Σ*b: words whose only b is the last symbol: a*b.
+	e := regex.MustCompileString(".*b", ab)
+	wantE := regex.MustCompileString("a*b", ab)
+	sameLanguageUpTo(t, e.PrefixFreeKernel(), wantE, 6, "kernel(Σ*b)")
+}
+
+func TestPrefixFreeKernelAcceptingStart(t *testing.T) {
+	// Language (aa)* ∪ {b}: within Σ⁺ this is {aa, aaaa, ...} ∪ {b}; the
+	// kernel is {aa, b} (aaaa has proper prefix aa).
+	d := regex.MustCompileString("(aa)*+b", ab)
+	want := regex.MustCompileString("aa+b", ab)
+	sameLanguageUpTo(t, d.PrefixFreeKernel(), want, 6, "kernel((aa)*+b)")
+}
+
+func TestMinexPaperExample(t *testing.T) {
+	// The paper: minex((a³)⁺, (a²)⁺) = (a⁶)⁺a² + (a⁶)*a⁴ — the minimal
+	// proper even-length extensions of multiples of three.
+	a := alphabet.MustLetters("a")
+	phi1 := regex.MustCompileString("(a^3)^+", a)
+	phi2 := regex.MustCompileString("(a^2)^+", a)
+	m, err := phi1.Minex(phi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := regex.MustCompileString("(a^6)^+a^2+(a^6)*a^4", a)
+	for _, w := range allWords(a, 20) {
+		if m.Accepts(w) != want.Accepts(w) {
+			t.Fatalf("minex wrong on a^%d: got %v", w.Len(), m.Accepts(w))
+		}
+	}
+
+	// And the reverse direction from the paper:
+	// minex((a²)⁺, (a³)⁺) = (a⁶)⁺ + (a⁶)*a³ = (a³)⁺.
+	m2, err := phi2.Minex(phi1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := regex.MustCompileString("(a^6)^+ + (a^6)*a^3", a)
+	for _, w := range allWords(a, 20) {
+		if m2.Accepts(w) != want2.Accepts(w) {
+			t.Fatalf("minex reverse wrong on a^%d", w.Len())
+		}
+	}
+}
+
+func TestMinexDefinitionBruteForce(t *testing.T) {
+	// Cross-check Minex against the paper's definition by brute force.
+	phi1 := regex.MustCompileString("(ab)^+", ab)
+	phi2 := regex.MustCompileString("a.*", ab)
+	m, err := phi1.Minex(phi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := allWords(ab, 7)
+	inPhi1 := map[string]bool{}
+	inPhi2 := map[string]bool{}
+	for _, w := range words {
+		inPhi1[w.String()] = phi1.Accepts(w)
+		inPhi2[w.String()] = phi2.Accepts(w)
+	}
+	for _, w := range words {
+		want := false
+		if inPhi2[w.String()] {
+			// ∃ σ1 ∈ Φ1, σ1 ≺ w, with no σ2' ∈ Φ2, σ1 ≺ σ2' ≺ w.
+			for cut := 1; cut < w.Len(); cut++ {
+				if !inPhi1[w.Prefix(cut).String()] {
+					continue
+				}
+				minimal := true
+				for mid := cut + 1; mid < w.Len(); mid++ {
+					if inPhi2[w.Prefix(mid).String()] {
+						minimal = false
+						break
+					}
+				}
+				if minimal {
+					want = true
+					break
+				}
+			}
+		}
+		if got := m.Accepts(w); got != want {
+			t.Fatalf("minex definition mismatch on %v: got %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestTrimRemovesUnreachable(t *testing.T) {
+	d := dfa.MustNew(ab, [][]int{
+		{0, 0},
+		{1, 1}, // unreachable
+	}, 0, []bool{true, true})
+	tr := d.Trim()
+	if tr.NumStates() != 1 {
+		t.Errorf("Trim left %d states, want 1", tr.NumStates())
+	}
+}
+
+func TestCounterFree(t *testing.T) {
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"a*b*", true},     // star-free-ish, aperiodic
+		{"(aa)^+", false},  // counts a's mod 2
+		{".*b.*", true},    // contains b
+		{"(ab)^+", true},   // no modular counting: a,b alternation is aperiodic
+		{"(a^3)^+", false}, // counts mod 3
+		{"a^+b*", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			var a *alphabet.Alphabet = ab
+			d := regex.MustCompileString(tt.expr, a).Minimize()
+			got, err := d.IsCounterFree(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("IsCounterFree(%s) = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCounterFreeSingleLetterMod3(t *testing.T) {
+	a := alphabet.MustLetters("a")
+	d := regex.MustCompileString("(a^3)^+", a).Minimize()
+	got, err := d.IsCounterFree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("(a^3)^+ over {a} should not be counter-free")
+	}
+}
+
+func TestMonoidCap(t *testing.T) {
+	d := regex.MustCompileString("(a+b)*b(a+b)^3", ab) // blows up on determinization
+	dd := d                                            // already deterministic & complete
+	if _, err := dd.TransitionMonoid(2); err == nil {
+		t.Error("tiny cap should trigger ErrMonoidTooLarge")
+	}
+}
+
+func TestMonoidWitnesses(t *testing.T) {
+	d := regex.MustCompileString("a^+", ab).Minimize()
+	m, err := d.TransitionMonoid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() == 0 {
+		t.Fatal("monoid should be non-trivial")
+	}
+	for i := 0; i < m.Size(); i++ {
+		w := word.FiniteFromString(m.Witness(i))
+		// Witness word must induce the recorded transformation.
+		f := m.Elements()[i]
+		for q := 0; q < d.NumStates(); q++ {
+			cur := q
+			for _, s := range w {
+				cur = d.Step(cur, s)
+			}
+			if cur != f[q] {
+				t.Fatalf("witness %q does not induce element %d", m.Witness(i), i)
+			}
+		}
+	}
+}
+
+func TestNFAAccepts(t *testing.T) {
+	n, err := regex.ToNFA(regex.MustParse("(ab)^+"), ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Accepts(word.FiniteFromString("abab")) {
+		t.Error("NFA should accept abab")
+	}
+	if n.Accepts(word.FiniteFromString("aba")) {
+		t.Error("NFA should reject aba")
+	}
+	if n.Accepts(word.FiniteFromString("zz")) {
+		t.Error("NFA should reject foreign symbols")
+	}
+}
+
+func TestDeterminizeMatchesNFA(t *testing.T) {
+	exprs := []string{"(a+b)*abb", "(ab+ba)^+", "a*b*a*b*"}
+	for _, expr := range exprs {
+		n, err := regex.ToNFA(regex.MustParse(expr), ab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := n.Determinize()
+		for _, w := range allWords(ab, 6) {
+			if n.Accepts(w) != d.Accepts(w) {
+				t.Fatalf("%s: determinize changed membership of %v", expr, w)
+			}
+		}
+	}
+}

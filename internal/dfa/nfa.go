@@ -1,0 +1,165 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alphabet"
+	"repro/internal/word"
+)
+
+// NFA is a nondeterministic finite automaton with ε-transitions, the
+// intermediate representation produced by the regex compiler.
+type NFA struct {
+	Alpha  *alphabet.Alphabet
+	Trans  []map[int][]int // Trans[state][symbolIndex] = successors
+	Eps    [][]int         // ε successors
+	Start  []int
+	Accept []bool
+}
+
+// NewNFA allocates an NFA with n states and no transitions.
+func NewNFA(alpha *alphabet.Alphabet, n int) *NFA {
+	nfa := &NFA{
+		Alpha:  alpha,
+		Trans:  make([]map[int][]int, n),
+		Eps:    make([][]int, n),
+		Accept: make([]bool, n),
+	}
+	for i := range nfa.Trans {
+		nfa.Trans[i] = map[int][]int{}
+	}
+	return nfa
+}
+
+// AddState appends a fresh state and returns its id.
+func (n *NFA) AddState() int {
+	n.Trans = append(n.Trans, map[int][]int{})
+	n.Eps = append(n.Eps, nil)
+	n.Accept = append(n.Accept, false)
+	return len(n.Trans) - 1
+}
+
+// AddEdge adds a transition on the given symbol.
+func (n *NFA) AddEdge(from int, s alphabet.Symbol, to int) error {
+	i := n.Alpha.Index(s)
+	if i < 0 {
+		return fmt.Errorf("dfa: symbol %q not in alphabet", s)
+	}
+	n.Trans[from][i] = append(n.Trans[from][i], to)
+	return nil
+}
+
+// AddEps adds an ε-transition.
+func (n *NFA) AddEps(from, to int) {
+	n.Eps[from] = append(n.Eps[from], to)
+}
+
+// EpsClosure expands a state set with everything reachable by ε-moves.
+// The result is sorted and duplicate-free.
+func (n *NFA) EpsClosure(states []int) []int {
+	seen := map[int]bool{}
+	var stack []int
+	for _, q := range states {
+		if !seen[q] {
+			seen[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range n.Eps[q] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StepSet returns the ε-closed successor set of a (ε-closed) state set on
+// symbol index s.
+func (n *NFA) StepSet(states []int, s int) []int {
+	var next []int
+	seen := map[int]bool{}
+	for _, q := range states {
+		for _, t := range n.Trans[q][s] {
+			if !seen[t] {
+				seen[t] = true
+				next = append(next, t)
+			}
+		}
+	}
+	return n.EpsClosure(next)
+}
+
+// Accepts reports whether the NFA accepts the finite word.
+func (n *NFA) Accepts(w word.Finite) bool {
+	cur := n.EpsClosure(n.Start)
+	for _, sym := range w {
+		i := n.Alpha.Index(sym)
+		if i < 0 {
+			return false
+		}
+		cur = n.StepSet(cur, i)
+	}
+	for _, q := range cur {
+		if n.Accept[q] {
+			return true
+		}
+	}
+	return false
+}
+
+func setKey(states []int) string {
+	b := make([]byte, 0, len(states)*3)
+	for _, q := range states {
+		b = append(b, byte(q), byte(q>>8), byte(q>>16))
+	}
+	return string(b)
+}
+
+// Determinize performs the subset construction, yielding an equivalent
+// complete DFA (the empty subset is the dead sink).
+func (n *NFA) Determinize() *DFA {
+	k := n.Alpha.Size()
+	index := map[string]int{}
+	var sets [][]int
+	get := func(set []int) int {
+		key := setKey(set)
+		if i, ok := index[key]; ok {
+			return i
+		}
+		i := len(sets)
+		index[key] = i
+		sets = append(sets, set)
+		return i
+	}
+	get(n.EpsClosure(n.Start))
+	var trans [][]int
+	var accept []bool
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			row[s] = get(n.StepSet(set, s))
+		}
+		trans = append(trans, row)
+		acc := false
+		for _, q := range set {
+			if n.Accept[q] {
+				acc = true
+				break
+			}
+		}
+		accept = append(accept, acc)
+	}
+	return MustNew(n.Alpha, trans, 0, accept)
+}

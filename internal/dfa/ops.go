@@ -1,0 +1,289 @@
+package dfa
+
+import (
+	"fmt"
+)
+
+// BoolOp is a binary boolean combinator for Product.
+type BoolOp int
+
+// The supported product combinators.
+const (
+	OpAnd BoolOp = iota + 1
+	OpOr
+	OpAndNot
+	OpXor
+)
+
+func (op BoolOp) apply(a, b bool) bool {
+	switch op {
+	case OpAnd:
+		return a && b
+	case OpOr:
+		return a || b
+	case OpAndNot:
+		return a && !b
+	case OpXor:
+		return a != b
+	default:
+		panic(fmt.Sprintf("dfa: unknown BoolOp %d", op))
+	}
+}
+
+// Product returns the product automaton accepting {w : op(w∈L(d), w∈L(e))}.
+// Both automata must share the same alphabet. Only reachable product states
+// are materialized.
+func (d *DFA) Product(e *DFA, op BoolOp) (*DFA, error) {
+	if !d.alpha.Equal(e.alpha) {
+		return nil, fmt.Errorf("dfa: product over different alphabets %v and %v", d.alpha, e.alpha)
+	}
+	k := d.alpha.Size()
+	type pair struct{ a, b int }
+	index := map[pair]int{}
+	var order []pair
+	get := func(p pair) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(order)
+		index[p] = i
+		order = append(order, p)
+		return i
+	}
+	startPair := pair{d.start, e.start}
+	get(startPair)
+	var trans [][]int
+	var accept []bool
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			row[s] = get(pair{d.trans[p.a][s], e.trans[p.b][s]})
+		}
+		trans = append(trans, row)
+		accept = append(accept, op.apply(d.accept[p.a], e.accept[p.b]))
+	}
+	return New(d.alpha, trans, 0, accept)
+}
+
+// Intersect returns a DFA for L(d) ∩ L(e).
+func (d *DFA) Intersect(e *DFA) (*DFA, error) { return d.Product(e, OpAnd) }
+
+// Union returns a DFA for L(d) ∪ L(e).
+func (d *DFA) Union(e *DFA) (*DFA, error) { return d.Product(e, OpOr) }
+
+// Minus returns a DFA for L(d) − L(e).
+func (d *DFA) Minus(e *DFA) (*DFA, error) { return d.Product(e, OpAndNot) }
+
+// Complement returns a DFA for the complement of L(d) (with respect to Σ*;
+// package lang interprets languages within Σ⁺).
+func (d *DFA) Complement() *DFA {
+	out := d.Clone()
+	for q := range out.accept {
+		out.accept[q] = !out.accept[q]
+	}
+	return out
+}
+
+// Equal reports whether two DFAs accept the same language within Σ⁺
+// (the empty word is ignored, matching the paper's finitary properties).
+func (d *DFA) Equal(e *DFA) (bool, error) {
+	x, err := d.Product(e, OpXor)
+	if err != nil {
+		return false, err
+	}
+	return x.IsEmpty(), nil
+}
+
+// PrefixClosedSubset returns a DFA for A_f(Φ): the words all of whose
+// non-empty prefixes (including the word itself) belong to L(d).
+func (d *DFA) PrefixClosedSubset() *DFA {
+	// Redirect every transition into a non-accepting state to a dead sink:
+	// once any prefix leaves L(d), the word and all extensions are out.
+	n := len(d.trans)
+	k := d.alpha.Size()
+	sink := n
+	trans := make([][]int, n+1)
+	accept := make([]bool, n+1)
+	for q := 0; q < n; q++ {
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			next := d.trans[q][s]
+			if d.accept[next] {
+				row[s] = next
+			} else {
+				row[s] = sink
+			}
+		}
+		trans[q] = row
+		accept[q] = d.accept[q]
+	}
+	sinkRow := make([]int, k)
+	for s := range sinkRow {
+		sinkRow[s] = sink
+	}
+	trans[sink] = sinkRow
+	return MustNew(d.alpha, trans, d.start, accept).Trim()
+}
+
+// ExtensionClosure returns a DFA for E_f(Φ) = Φ·Σ*: the words having some
+// non-empty prefix in L(d).
+func (d *DFA) ExtensionClosure() *DFA {
+	// Once an accepting state is reached, lock into an all-accepting sink.
+	n := len(d.trans)
+	k := d.alpha.Size()
+	top := n
+	trans := make([][]int, n+1)
+	accept := make([]bool, n+1)
+	for q := 0; q < n; q++ {
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			next := d.trans[q][s]
+			if d.accept[next] {
+				row[s] = top
+			} else {
+				row[s] = next
+			}
+		}
+		trans[q] = row
+		accept[q] = false
+	}
+	topRow := make([]int, k)
+	for s := range topRow {
+		topRow[s] = top
+	}
+	trans[top] = topRow
+	accept[top] = true
+	out := MustNew(d.alpha, trans, d.start, accept)
+	if d.accept[d.start] {
+		// ε ∈ L(d) is ignored: finitary properties live in Σ⁺.
+		out.accept[out.start] = false
+	}
+	return out.Trim()
+}
+
+// LiveStates returns, for each state, whether some accepting state is
+// reachable from it (possibly by the empty path, i.e. accepting states are
+// live).
+func (d *DFA) LiveStates() []bool {
+	n := len(d.trans)
+	// Reverse reachability from accepting states.
+	rev := make([][]int, n)
+	for q := range d.trans {
+		for _, next := range d.trans[q] {
+			rev[next] = append(rev[next], q)
+		}
+	}
+	live := make([]bool, n)
+	var stack []int
+	for q, acc := range d.accept {
+		if acc {
+			live[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return live
+}
+
+// Prefixes returns a DFA for the language of non-empty prefixes of words in
+// L(d): {w ∈ Σ⁺ : ∃u, w·u ∈ L(d)} (u may be empty).
+func (d *DFA) Prefixes() *DFA {
+	live := d.LiveStates()
+	out := d.Clone()
+	for q := range out.accept {
+		out.accept[q] = live[q]
+	}
+	return out
+}
+
+// PrefixFreeKernel returns a DFA for the words of L(d) none of whose proper
+// non-empty prefixes are in L(d).
+func (d *DFA) PrefixFreeKernel() *DFA {
+	// States (q, seen) with seen = "some proper non-empty prefix was in
+	// L(d)", plus a dedicated initial state for the ε position (ε never
+	// sets the bit even if the start state is accepting). The bit updates
+	// before each step: nextSeen = seen ∨ accept(q).
+	n := len(d.trans)
+	k := d.alpha.Size()
+	initState := 2 * n
+	trans := make([][]int, 2*n+1)
+	accept := make([]bool, 2*n+1)
+	for seen := 0; seen < 2; seen++ {
+		for q := 0; q < n; q++ {
+			id := q + n*seen
+			row := make([]int, k)
+			nextSeen := seen
+			if d.accept[q] {
+				nextSeen = 1
+			}
+			for s := 0; s < k; s++ {
+				row[s] = d.trans[q][s] + n*nextSeen
+			}
+			trans[id] = row
+			accept[id] = d.accept[q] && seen == 0
+		}
+	}
+	initRow := make([]int, k)
+	for s := 0; s < k; s++ {
+		initRow[s] = d.trans[d.start][s] // seen stays 0 out of ε
+	}
+	trans[initState] = initRow
+	return MustNew(d.alpha, trans, initState, accept).Trim()
+}
+
+// Minex returns a DFA for minex(Φ1, Φ2) (§2 of the paper): the words
+// σ2 ∈ Φ2 that are a minimal proper Φ2-extension of some σ1 ∈ Φ1.
+// Φ1 = L(d) ∩ Σ⁺ and Φ2 = L(e) ∩ Σ⁺.
+func (d *DFA) Minex(e *DFA) (*DFA, error) {
+	if !d.alpha.Equal(e.alpha) {
+		return nil, fmt.Errorf("dfa: minex over different alphabets")
+	}
+	// State: (q1, q2, b) where b says: the word w read so far has a proper
+	// non-empty prefix u ∈ Φ1 with no v ∈ Φ2, u ≺ v ≺ w.
+	// Update on reading a symbol (before stepping):
+	//   b' = (w ∈ Φ1 ∧ w ≠ ε) ∨ (b ∧ w ∉ Φ2).
+	// Accept w iff w ∈ Φ2 ∧ b.
+	k := d.alpha.Size()
+	type st struct {
+		q1, q2 int
+		b      bool
+		isInit bool // the ε position, where Φ1-membership must not fire
+	}
+	index := map[st]int{}
+	var order []st
+	get := func(s st) int {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := len(order)
+		index[s] = i
+		order = append(order, s)
+		return i
+	}
+	get(st{q1: d.start, q2: e.start, isInit: true})
+	var trans [][]int
+	var accept []bool
+	for i := 0; i < len(order); i++ {
+		s := order[i]
+		row := make([]int, k)
+		inPhi1 := d.accept[s.q1] && !s.isInit
+		inPhi2 := e.accept[s.q2] && !s.isInit
+		nb := inPhi1 || (s.b && !inPhi2)
+		for sym := 0; sym < k; sym++ {
+			row[sym] = get(st{q1: d.trans[s.q1][sym], q2: e.trans[s.q2][sym], b: nb})
+		}
+		trans = append(trans, row)
+		accept = append(accept, inPhi2 && s.b)
+	}
+	return New(d.alpha, trans, 0, accept)
+}

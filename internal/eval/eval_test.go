@@ -1,0 +1,270 @@
+package eval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/ltl"
+	"repro/internal/word"
+)
+
+var ab = alphabet.MustLetters("ab")
+
+func holds(t *testing.T, fstr string, w word.Lasso) bool {
+	t.Helper()
+	got, err := eval.Holds(ltl.MustParse(fstr), w)
+	if err != nil {
+		t.Fatalf("Holds(%s, %v): %v", fstr, w, err)
+	}
+	return got
+}
+
+func TestBasicSemantics(t *testing.T) {
+	tests := []struct {
+		f    string
+		w    word.Lasso
+		want bool
+	}{
+		{"a", word.MustLassoStrings("", "a"), true},
+		{"a", word.MustLassoStrings("", "b"), false},
+		{"X b", word.MustLassoStrings("a", "b"), true},
+		{"X a", word.MustLassoStrings("a", "b"), false},
+		{"F b", word.MustLassoStrings("aaa", "b"), true},
+		{"F b", word.MustLassoStrings("", "a"), false},
+		{"G a", word.MustLassoStrings("", "a"), true},
+		{"G a", word.MustLassoStrings("aaa", "b"), false},
+		{"G F b", word.MustLassoStrings("", "ab"), true},
+		{"G F b", word.MustLassoStrings("bbb", "a"), false},
+		{"F G b", word.MustLassoStrings("aaa", "b"), true},
+		{"F G b", word.MustLassoStrings("", "ab"), false},
+		{"a U b", word.MustLassoStrings("aa", "b"), true},
+		{"b U b", word.MustLassoStrings("a", "b"), false},
+		{"a W b", word.MustLassoStrings("", "a"), true},
+		{"a U b", word.MustLassoStrings("", "a"), false},
+	}
+	for _, tt := range tests {
+		if got := holds(t, tt.f, tt.w); got != tt.want {
+			t.Errorf("%s on %v = %v, want %v", tt.f, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestUntilAtSecondPosition(t *testing.T) {
+	// ab a^ω: a U b holds at 0 (a@0, b@1).
+	w := word.MustLassoStrings("ab", "a")
+	if !holds(t, "a U b", w) {
+		t.Error("a U b should hold on ab a^ω")
+	}
+}
+
+func TestPastSemantics(t *testing.T) {
+	tests := []struct {
+		f    string
+		w    word.Lasso
+		j    int
+		want bool
+	}{
+		{"Y a", word.MustLassoStrings("ab", "b"), 1, true},
+		{"Y a", word.MustLassoStrings("ab", "b"), 0, false},
+		{"Z a", word.MustLassoStrings("ab", "b"), 0, true}, // weak prev at origin
+		{"O a", word.MustLassoStrings("ab", "b"), 5, true},
+		{"O b", word.MustLassoStrings("a", "a"), 3, false},
+		{"H a", word.MustLassoStrings("aab", "b"), 1, true},
+		{"H a", word.MustLassoStrings("aab", "b"), 2, false},
+		{"b S a", word.MustLassoStrings("abb", "b"), 2, true},
+		{"b S a", word.MustLassoStrings("bbb", "b"), 2, false},
+		{"first", word.MustLassoStrings("ab", "b"), 0, true},
+		{"first", word.MustLassoStrings("ab", "b"), 1, false},
+	}
+	for _, tt := range tests {
+		got, err := eval.At(ltl.MustParse(tt.f), tt.w, tt.j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("(%v, %d) ⊨ %s = %v, want %v", tt.w, tt.j, tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestValuationSymbols(t *testing.T) {
+	// Words over 2^{p,q}.
+	alpha, err := alphabet.Valuations([]string{"p", "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = alpha
+	pq := alphabet.Valuation{"p": true, "q": true}.Symbol()
+	p := alphabet.Valuation{"p": true}.Symbol()
+	none := alphabet.Valuation{}.Symbol()
+	w := word.MustLasso(word.Finite{p, none}, word.Finite{pq})
+	if !holds(t, "p & !q", w) {
+		t.Error("p & !q should hold initially")
+	}
+	if !holds(t, "X !p", w) {
+		t.Error("X !p should hold")
+	}
+	if !holds(t, "F G (p & q)", w) {
+		t.Error("F G (p & q) should hold")
+	}
+}
+
+// TestExpansionLaws checks the standard fixpoint expansions pointwise on
+// random formulas and words — a strong internal-consistency property of
+// the evaluator.
+func TestExpansionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		p := gen.RandomFormula(rng, gen.FormulaOpts{Props: []string{"a", "b"}, MaxDepth: 2, AllowFuture: true, AllowPast: true})
+		q := gen.RandomFormula(rng, gen.FormulaOpts{Props: []string{"a", "b"}, MaxDepth: 2, AllowFuture: true, AllowPast: true})
+		w := gen.RandomLasso(rng, ab, 3, 3)
+		ev := eval.NewEvaluator(w)
+
+		laws := []struct {
+			name string
+			lhs  ltl.Formula
+			rhs  ltl.Formula
+		}{
+			{"U expansion", ltl.Until{L: p, R: q}, ltl.Or{L: q, R: ltl.And{L: p, R: ltl.Next{F: ltl.Until{L: p, R: q}}}}},
+			{"W expansion", ltl.Unless{L: p, R: q}, ltl.Or{L: q, R: ltl.And{L: p, R: ltl.Next{F: ltl.Unless{L: p, R: q}}}}},
+			{"F expansion", ltl.Eventually{F: p}, ltl.Or{L: p, R: ltl.Next{F: ltl.Eventually{F: p}}}},
+			{"G expansion", ltl.Always{F: p}, ltl.And{L: p, R: ltl.Next{F: ltl.Always{F: p}}}},
+			{"S expansion", ltl.Since{L: p, R: q}, ltl.Or{L: q, R: ltl.And{L: p, R: ltl.Prev{F: ltl.Since{L: p, R: q}}}}},
+			{"B expansion", ltl.Back{L: p, R: q}, ltl.Or{L: q, R: ltl.And{L: p, R: ltl.WeakPrev{F: ltl.Back{L: p, R: q}}}}},
+			{"O expansion", ltl.Once{F: p}, ltl.Or{L: p, R: ltl.Prev{F: ltl.Once{F: p}}}},
+			{"H expansion", ltl.Historically{F: p}, ltl.And{L: p, R: ltl.WeakPrev{F: ltl.Historically{F: p}}}},
+			{"not U", ltl.Not{F: ltl.Until{L: p, R: q}}, ltl.Unless{L: ltl.Not{F: q}, R: ltl.And{L: ltl.Not{F: p}, R: ltl.Not{F: q}}}},
+			{"F = true U", ltl.Eventually{F: p}, ltl.Until{L: ltl.True{}, R: p}},
+			{"O = true S", ltl.Once{F: p}, ltl.Since{L: ltl.True{}, R: p}},
+			{"W = U or G", ltl.Unless{L: p, R: q}, ltl.Or{L: ltl.Until{L: p, R: q}, R: ltl.Always{F: p}}},
+			{"B = S or H", ltl.Back{L: p, R: q}, ltl.Or{L: ltl.Since{L: p, R: q}, R: ltl.Historically{F: p}}},
+		}
+		for _, law := range laws {
+			for j := 0; j < 8; j++ {
+				l, err := ev.EvalAt(law.lhs, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := ev.EvalAt(law.rhs, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if l != r {
+					t.Fatalf("%s fails at %d on %v: %v vs %v (p=%s, q=%s)",
+						law.name, j, w, l, r, p.String(), q.String())
+				}
+			}
+		}
+	}
+}
+
+// TestNnfPreservesSemantics checks NNF against the evaluator on random
+// formulas and words.
+func TestNnfPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 400; trial++ {
+		f := gen.RandomFormula(rng, gen.FormulaOpts{Props: []string{"a", "b"}, MaxDepth: 4, AllowFuture: true, AllowPast: true})
+		w := gen.RandomLasso(rng, ab, 3, 3)
+		ev := eval.NewEvaluator(w)
+		for j := 0; j < 6; j++ {
+			x, err := ev.EvalAt(f, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := ev.EvalAt(ltl.Nnf(f), j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x != y {
+				t.Fatalf("NNF changed semantics of %q at %d on %v", f.String(), j, w)
+			}
+		}
+	}
+}
+
+// TestEndSatisfiesMatchesEvalAt cross-validates the two independent past
+// evaluators: σ[0..j] ⊩ p iff (σ, j) ⊨ p for past p.
+func TestEndSatisfiesMatchesEvalAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		p := gen.RandomFormula(rng, gen.FormulaOpts{Props: []string{"a", "b"}, MaxDepth: 4, AllowPast: true})
+		w := gen.RandomLasso(rng, ab, 3, 3)
+		ev := eval.NewEvaluator(w)
+		for j := 0; j < 8; j++ {
+			viaLasso, err := ev.EvalAt(p, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaEnd, err := eval.EndSatisfies(p, w.FinitePrefix(j+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaLasso != viaEnd {
+				t.Fatalf("end-satisfaction mismatch for %q at %d on %v: %v vs %v",
+					p.String(), j, w, viaLasso, viaEnd)
+			}
+		}
+	}
+}
+
+func TestEndSatisfiesErrors(t *testing.T) {
+	if _, err := eval.EndSatisfies(ltl.MustParse("F a"), word.FiniteFromString("a")); err == nil {
+		t.Error("future formula should be rejected")
+	}
+	if _, err := eval.EndSatisfies(ltl.MustParse("a"), nil); err == nil {
+		t.Error("empty word should be rejected")
+	}
+}
+
+func TestEndSatisfiesPaperExample(t *testing.T) {
+	// The finitary property a*b is esat(b ∧ Y H a) — "b now, a at all
+	// previous positions" (the paper's example, with ◯⁻□⁻ = Y H).
+	p := ltl.MustParse("b & Z H a")
+	cases := []struct {
+		w    string
+		want bool
+	}{
+		{"b", true}, {"ab", true}, {"aaab", true},
+		{"a", false}, {"ba", false}, {"abb", false}, {"bb", false},
+	}
+	for _, tt := range cases {
+		got, err := eval.EndSatisfies(p, word.FiniteFromString(tt.w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("esat(b & Z H a) on %q = %v, want %v", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestTruthSequence(t *testing.T) {
+	f := ltl.MustParse("F b")
+	w := word.MustLassoStrings("ab", "a")
+	pre, loop, err := eval.NewEvaluator(w).TruthSequence(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F b: true at 0,1 (b at 1), false from 2 on.
+	all := append(append([]bool{}, pre...), loop...)
+	if !all[0] || !all[1] {
+		t.Errorf("F b should hold at 0,1: %v", all)
+	}
+	for _, v := range loop {
+		if v {
+			t.Errorf("F b should be false on the loop: %v %v", pre, loop)
+		}
+	}
+}
+
+func TestHoldsAtSymbol(t *testing.T) {
+	if !eval.HoldsAtSymbol("a", "a") || eval.HoldsAtSymbol("a", "b") {
+		t.Error("plain symbol matching broken")
+	}
+	if !eval.HoldsAtSymbol("{p,q}", "p") || eval.HoldsAtSymbol("{p,q}", "r") {
+		t.Error("valuation symbol matching broken")
+	}
+}

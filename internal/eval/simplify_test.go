@@ -1,0 +1,72 @@
+package eval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/ltl"
+)
+
+// TestSimplifyPreservesSemantics checks ltl.Simplify against the
+// evaluator on random formulas (living in eval's test package because the
+// check needs the evaluator; ltl cannot import eval).
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 400; trial++ {
+		f := gen.RandomFormula(rng, gen.FormulaOpts{
+			Props: []string{"a", "b"}, MaxDepth: 5, AllowFuture: true, AllowPast: true,
+		})
+		s := ltl.Simplify(f)
+		if ltl.Size(s) > ltl.Size(f) {
+			t.Fatalf("Simplify grew %q into %q", f.String(), s.String())
+		}
+		w := gen.RandomLasso(rng, ab, 3, 3)
+		ev := eval.NewEvaluator(w)
+		for j := 0; j < 6; j++ {
+			x, err := ev.EvalAt(f, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			y, err := ev.EvalAt(s, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x != y {
+				t.Fatalf("Simplify changed semantics of %q (-> %q) at %d on %v", f.String(), s.String(), j, w)
+			}
+		}
+	}
+}
+
+func TestSimplifyExamples(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"!!p", "p"},
+		{"p & true", "p"},
+		{"p | false", "p"},
+		{"p & false", "false"},
+		{"F F p", "F p"},
+		{"G G p", "G p"},
+		{"O O p", "O p"},
+		{"true U p", "F p"},
+		{"p U true", "true"},
+		{"p W false", "G p"},
+		{"p S false", "false"},
+		{"true -> p", "p"},
+		{"p <-> true", "p"},
+		{"p & p", "p"},
+		{"X true", "true"},
+		{"Y false", "false"},
+		{"Z true", "true"},
+		{"p B true", "true"},
+	}
+	for _, tt := range tests {
+		got := ltl.Simplify(ltl.MustParse(tt.in)).String()
+		if got != tt.want {
+			t.Errorf("Simplify(%s) = %s, want %s", tt.in, got, tt.want)
+		}
+	}
+}

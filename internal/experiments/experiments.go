@@ -1,0 +1,689 @@
+// Package experiments regenerates every table and figure of the paper's
+// presentation: each experiment Eₙ re-derives one artifact (Figure 1, the
+// §2 operator table, the closure/duality laws, the strict hierarchies,
+// the §4 responsiveness summary, the §5.1 decision procedures, the
+// verification examples) and reports paper-expected versus measured.
+// cmd/hierarchy prints the reports; bench_test.go times the underlying
+// computations.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/lang"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/omega"
+	"repro/internal/regex"
+	"repro/internal/topology"
+	"repro/internal/ts"
+	"repro/internal/word"
+)
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []string
+	OK    bool
+}
+
+func (r *Report) check(ok bool, format string, args ...interface{}) {
+	status := "ok  "
+	if !ok {
+		status = "FAIL"
+		r.OK = false
+	}
+	r.Rows = append(r.Rows, status+" "+fmt.Sprintf(format, args...))
+}
+
+// All runs every experiment in order.
+func All() []*Report {
+	return []*Report{
+		E1InclusionDiagram(),
+		E2OperatorTable(),
+		E3Duality(),
+		E4MinexClosure(),
+		E5SafetyClosure(),
+		E6ObligationRank(),
+		E7ReactivityRank(),
+		E8SLDecomposition(),
+		E9Topology(),
+		E10TemporalLaws(),
+		E11Responsiveness(),
+		E12RoundTrip(),
+		E13Decide(),
+		E14ModelCheck(),
+	}
+}
+
+var _ab = alphabet.MustLetters("ab")
+
+// E1InclusionDiagram reproduces Figure 1: the containment relations
+// between the six classes, including strictness, via the §5.1 decision
+// procedures on canonical witnesses.
+func E1InclusionDiagram() *Report {
+	r := &Report{ID: "E1", Title: "Figure 1 — inclusion diagram of the classes", OK: true}
+	abc := alphabet.MustLetters("abc")
+	ob, err := lang.SimpleObligation(lang.MustRegex("a^+", abc), lang.MustRegex(".*c", abc))
+	if err != nil {
+		r.check(false, "building obligation witness: %v", err)
+		return r
+	}
+	sr, err := lang.SimpleReactivity(lang.MustRegex(".*a", abc), lang.MustRegex(".*b", abc))
+	if err != nil {
+		r.check(false, "building reactivity witness: %v", err)
+		return r
+	}
+	witnesses := []struct {
+		name   string
+		a      *omega.Automaton
+		lowest core.Class
+	}{
+		{"A(a+b*) = a^ω+a⁺b^ω", lang.A(lang.MustRegex("a^+b*", _ab)), core.Safety},
+		{"E(Σ*b) = ◇b", lang.E(lang.MustRegex(".*b", _ab)), core.Guarantee},
+		{"a^ω ∪ ◇c", ob, core.Obligation},
+		{"R(Σ*b) = (a*b)^ω", lang.R(lang.MustRegex(".*b", _ab)), core.Recurrence},
+		{"P(Σ*b) = Σ*b^ω", lang.P(lang.MustRegex(".*b", _ab)), core.Persistence},
+		{"□◇a ∨ ◇□b", sr, core.Reactivity},
+	}
+	for _, w := range witnesses {
+		c := core.ClassifyAutomaton(w.a)
+		r.check(c.Lowest() == w.lowest, "witness %-22s lowest class = %v (want %v)", w.name, c.Lowest(), w.lowest)
+	}
+	// Containments of the diagram: everything below reactivity; safety and
+	// guarantee inside obligation; obligation inside recurrence and
+	// persistence; strictness witnessed by the classes above.
+	for _, w := range witnesses {
+		c := core.ClassifyAutomaton(w.a)
+		r.check(c.Reactivity, "%s ∈ reactivity", w.name)
+		switch w.lowest {
+		case core.Safety, core.Guarantee:
+			r.check(c.Obligation && c.Recurrence && c.Persistence,
+				"%s contained upward through obligation, recurrence, persistence", w.name)
+		case core.Obligation:
+			r.check(c.Recurrence && c.Persistence && !c.Safety && !c.Guarantee,
+				"%s strictly above safety/guarantee, inside recurrence∩persistence", w.name)
+		case core.Recurrence:
+			r.check(!c.Persistence && !c.Obligation, "%s strictly recurrence", w.name)
+		case core.Persistence:
+			r.check(!c.Recurrence && !c.Obligation, "%s strictly persistence", w.name)
+		case core.Reactivity:
+			r.check(!c.Recurrence && !c.Persistence, "%s strictly reactivity", w.name)
+		}
+	}
+	// Obligation = recurrence ∩ persistence (checked on the witnesses).
+	for _, w := range witnesses {
+		c := core.ClassifyAutomaton(w.a)
+		r.check(c.Obligation == (c.Recurrence && c.Persistence),
+			"%s: obligation ⇔ recurrence ∧ persistence", w.name)
+	}
+	return r
+}
+
+// E2OperatorTable reproduces the §2 examples of the four operators,
+// comparing each constructed automaton against the paper's ω-regular
+// expression on an exhaustive lasso corpus.
+func E2OperatorTable() *Report {
+	r := &Report{ID: "E2", Title: "§2 operator table — A/E/R/P on the paper's examples", OK: true}
+	rows := []struct {
+		name string
+		a    *omega.Automaton
+		expr string
+	}{
+		{"A(a+b*)", lang.A(lang.MustRegex("a^+b*", _ab)), "a^w+a^+b^w"},
+		{"E(a+b*)", lang.E(lang.MustRegex("a^+b*", _ab)), "a^+b*(a+b)^w"},
+		{"R(Σ*b)", lang.R(lang.MustRegex(".*b", _ab)), "(a*b)^w"},
+		{"P(Σ*b)", lang.P(lang.MustRegex(".*b", _ab)), ".*b^w"},
+	}
+	corpus := gen.Lassos(_ab, 4, 4)
+	for _, row := range rows {
+		b, err := regex.CompileOmegaString(row.expr, _ab)
+		if err != nil {
+			r.check(false, "%s: %v", row.name, err)
+			continue
+		}
+		mismatches := 0
+		for _, w := range corpus {
+			want := b.AcceptsLasso(w)
+			got, err := row.a.Accepts(w)
+			if err != nil || got != want {
+				mismatches++
+			}
+		}
+		r.check(mismatches == 0, "%-9s = %-14s on %d lasso words (%d mismatches)",
+			row.name, row.expr, len(corpus), mismatches)
+	}
+	return r
+}
+
+// E3Duality verifies the §2 duality laws on random finitary properties:
+// finitary A_f/E_f duality exactly on DFAs, infinitary A/E and R/P
+// duality exactly on automata.
+func E3Duality() *Report {
+	r := &Report{ID: "E3", Title: "§2 duality laws — ¬A=E∘¬, ¬R=P∘¬", OK: true}
+	rng := rand.New(rand.NewSource(101))
+	const trials = 30
+	fails := 0
+	for i := 0; i < trials; i++ {
+		phi := lang.FromDFA(gen.RandomDFA(rng, _ab, 2+rng.Intn(4), 0.4))
+		if ok, _ := phi.Af().Complement().Equal(phi.Complement().Ef()); !ok {
+			fails++
+		}
+		notA, err := lang.A(phi).ComplementSinglePair()
+		if err != nil {
+			fails++
+			continue
+		}
+		if eq, _, _ := notA.Equivalent(lang.E(phi.Complement())); !eq {
+			fails++
+		}
+		notR, err := lang.R(phi).ComplementSinglePair()
+		if err != nil {
+			fails++
+			continue
+		}
+		if eq, _, _ := notR.Equivalent(lang.P(phi.Complement())); !eq {
+			fails++
+		}
+	}
+	r.check(fails == 0, "duality laws on %d random finitary properties (%d failures)", trials, fails)
+	return r
+}
+
+// E4MinexClosure verifies the closure laws of §2, centrally
+// R(Φ1) ∩ R(Φ2) = R(minex(Φ1,Φ2)), exactly on automata, plus the paper's
+// (a³)⁺/(a²)⁺ example.
+func E4MinexClosure() *Report {
+	r := &Report{ID: "E4", Title: "§2 closure laws — minex and friends", OK: true}
+	one := alphabet.MustLetters("a")
+	phi1 := lang.MustRegex("(a^3)^+", one)
+	phi2 := lang.MustRegex("(a^2)^+", one)
+	mx, err := phi1.Minex(phi2)
+	if err != nil {
+		r.check(false, "minex: %v", err)
+		return r
+	}
+	want := lang.MustRegex("(a^6)^+a^2+(a^6)*a^4", one)
+	eq, err := mx.Equal(want)
+	r.check(err == nil && eq, "minex((a³)⁺,(a²)⁺) = (a⁶)⁺a² + (a⁶)*a⁴")
+
+	rng := rand.New(rand.NewSource(103))
+	const trials = 25
+	fails := 0
+	for i := 0; i < trials; i++ {
+		p1 := lang.FromDFA(gen.RandomDFA(rng, _ab, 2+rng.Intn(3), 0.4))
+		p2 := lang.FromDFA(gen.RandomDFA(rng, _ab, 2+rng.Intn(3), 0.4))
+		lhs, err := lang.R(p1).Intersect(lang.R(p2))
+		if err != nil {
+			fails++
+			continue
+		}
+		m, err := p1.Minex(p2)
+		if err != nil {
+			fails++
+			continue
+		}
+		if eq, _, _ := lhs.Equivalent(lang.R(m)); !eq {
+			fails++
+		}
+		inter, err := p1.Intersect(p2)
+		if err != nil {
+			fails++
+			continue
+		}
+		if lhsA, err := lang.A(p1).Intersect(lang.A(p2)); err == nil {
+			if eq, _, _ := lhsA.Equivalent(lang.A(inter)); !eq {
+				fails++
+			}
+		}
+		if lhsP, err := lang.P(p1).Intersect(lang.P(p2)); err == nil {
+			if eq, _, _ := lhsP.Equivalent(lang.P(inter)); !eq {
+				fails++
+			}
+		}
+	}
+	r.check(fails == 0, "R∩R=R(minex), A∩A=A(∩), P∩P=P(∩) on %d random pairs (%d failures)", trials, fails)
+	return r
+}
+
+// E5SafetyClosure verifies the characterization claims: Π safety iff
+// Π = A(Pref Π), and the paper's proof that (a*b)^ω is not safety.
+func E5SafetyClosure() *Report {
+	r := &Report{ID: "E5", Title: "§2 characterization — safety closure", OK: true}
+	s := lang.A(lang.MustRegex("a^+b*", _ab))
+	eq, _, err := s.Equivalent(s.SafetyClosure())
+	r.check(err == nil && eq, "safety property equals its closure")
+
+	rec := lang.R(lang.MustRegex(".*b", _ab))
+	eq, _, err = rec.Equivalent(rec.SafetyClosure())
+	r.check(err == nil && !eq, "(a*b)^ω ≠ its safety closure (so not safety)")
+	ok, err := rec.SafetyClosure().IsUniversal()
+	r.check(err == nil && ok, "cl((a*b)^ω) = (a+b)^ω, the paper's calculation")
+
+	// On random automata: classifier's safety bit ⇔ closure equality.
+	rng := rand.New(rand.NewSource(107))
+	const trials = 30
+	fails := 0
+	for i := 0; i < trials; i++ {
+		a := gen.RandomStreett(rng, _ab, 3+rng.Intn(4), 1, 0.3, 0.4)
+		c := core.ClassifyAutomaton(a)
+		eq, _, err := a.Equivalent(a.SafetyClosure())
+		if err != nil || c.Safety != eq {
+			fails++
+		}
+	}
+	r.check(fails == 0, "safety ⇔ Π=cl(Π) on %d random automata (%d failures)", trials, fails)
+	return r
+}
+
+// E6ObligationRank reproduces the strict Obl_k hierarchy with the
+// Hausdorff-difference family X_k = {#c odd, < 2k} (see EXPERIMENTS.md on
+// the substitution for the paper's printed family).
+func E6ObligationRank() *Report {
+	r := &Report{ID: "E6", Title: "§2 strict Obl_k hierarchy", OK: true}
+	for k := 1; k <= 5; k++ {
+		a := OddCAutomaton(k)
+		c := core.ClassifyAutomaton(a)
+		r.check(c.Obligation && c.ObligationRank == k,
+			"X_%d (odd #c < %d): obligation rank %d (want %d)", k, 2*k, c.ObligationRank, k)
+	}
+	return r
+}
+
+// OddCAutomaton builds the Obl_k witness X_k over {c,d}: runs whose total
+// number of c's is finite, odd, and < 2k.
+func OddCAutomaton(k int) *omega.Automaton {
+	cd := alphabet.MustLetters("cd")
+	n := 2*k + 1
+	trans := make([][]int, n)
+	for i := 0; i < n; i++ {
+		next := i + 1
+		if next >= n {
+			next = n - 1
+		}
+		trans[i] = []int{next, i}
+	}
+	pair := omega.Pair{R: make([]bool, n), P: make([]bool, n)}
+	for i := 1; i < n-1; i += 2 {
+		pair.P[i] = true
+	}
+	return omega.MustNew(cd, trans, 0, []omega.Pair{pair})
+}
+
+// E7ReactivityRank reproduces the strict reactivity hierarchy: the
+// conjunction ⋀ᵢ(□◇pᵢ ∨ ◇□qᵢ) over independent propositions has Wagner
+// rank exactly n.
+func E7ReactivityRank() *Report {
+	r := &Report{ID: "E7", Title: "§4 strict reactivity hierarchy", OK: true}
+	for n := 1; n <= 3; n++ {
+		a, err := ReactivityFamily(n)
+		if err != nil {
+			r.check(false, "n=%d: %v", n, err)
+			continue
+		}
+		c := core.ClassifyAutomaton(a)
+		r.check(c.ReactivityRank == n,
+			"⋀_{i≤%d}(□◇pᵢ ∨ ◇□qᵢ): reactivity rank %d (want %d), pairs in automaton %d",
+			n, c.ReactivityRank, n, a.NumPairs())
+	}
+	return r
+}
+
+// ReactivityFamily builds ⋀_{i=1..n} (R(last pᵢ) ∪ P(last qᵢ)) over the
+// valuation alphabet of 2n independent propositions.
+func ReactivityFamily(n int) (*omega.Automaton, error) {
+	var props []string
+	for i := 0; i < n; i++ {
+		props = append(props, fmt.Sprintf("p%d", i+1), fmt.Sprintf("q%d", i+1))
+	}
+	alpha, err := alphabet.Valuations(props)
+	if err != nil {
+		return nil, err
+	}
+	autos := make([]*omega.Automaton, n)
+	for i := 0; i < n; i++ {
+		sr, err := lang.SimpleReactivity(
+			lastHolds(alpha, fmt.Sprintf("p%d", i+1)),
+			lastHolds(alpha, fmt.Sprintf("q%d", i+1)))
+		if err != nil {
+			return nil, err
+		}
+		autos[i] = sr
+	}
+	return omega.IntersectAll(autos...)
+}
+
+func lastHolds(alpha *alphabet.Alphabet, prop string) *lang.Property {
+	k := alpha.Size()
+	trans := make([][]int, 2)
+	for q := 0; q < 2; q++ {
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			if eval.HoldsAtSymbol(alpha.Symbol(s), prop) {
+				row[s] = 1
+			}
+		}
+		trans[q] = row
+	}
+	return lang.FromDFA(dfa.MustNew(alpha, trans, 0, []bool{false, true}))
+}
+
+// E8SLDecomposition verifies Π = Π_S ∩ Π_L on the running example aUb and
+// random automata, and that liveness extensions stay in their class.
+func E8SLDecomposition() *Report {
+	r := &Report{ID: "E8", Title: "§2 safety–liveness decomposition", OK: true}
+	f := ltl.MustParse("a U b")
+	aut, err := core.CompileFormula(f, []string{"a", "b"})
+	if err != nil {
+		r.check(false, "compile aUb: %v", err)
+		return r
+	}
+	err = core.VerifySLDecomposition(aut)
+	r.check(err == nil, "aUb = (aWb) ∩ ◇b decomposition (err=%v)", err)
+
+	rng := rand.New(rand.NewSource(109))
+	const trials = 25
+	fails := 0
+	for i := 0; i < trials; i++ {
+		a := gen.RandomStreett(rng, _ab, 3+rng.Intn(4), 1, 0.3, 0.4)
+		if err := core.VerifySLDecomposition(a); err != nil {
+			fails++
+		}
+	}
+	r.check(fails == 0, "Π = Π_S ∩ Π_L on %d random automata (%d failures)", trials, fails)
+
+	for _, tt := range []struct {
+		name string
+		a    *omega.Automaton
+		cl   core.Class
+	}{
+		{"◇b", lang.E(lang.MustRegex(".*b", _ab)), core.Guarantee},
+		{"□◇b", lang.R(lang.MustRegex(".*b", _ab)), core.Recurrence},
+		{"◇□b", lang.P(lang.MustRegex(".*b", _ab)), core.Persistence},
+	} {
+		le := tt.a.LivenessExtension()
+		c := core.ClassifyAutomaton(le)
+		r.check(core.IsLiveness(le) && c.In(tt.cl), "𝓛(%s) is a live %v property", tt.name, tt.cl)
+	}
+	return r
+}
+
+// E9Topology verifies the §3 Borel correspondences and the metric
+// example μ(a^n b^ω, a^2n b^ω) = 2^−n.
+func E9Topology() *Report {
+	r := &Report{ID: "E9", Title: "§3 topological view — Borel correspondence and metric", OK: true}
+	rows := []struct {
+		name                         string
+		a                            *omega.Automaton
+		closed, open, gdelta, fsigma bool
+	}{
+		{"A(a+b*)", lang.A(lang.MustRegex("a^+b*", _ab)), true, false, true, true},
+		{"E(Σ*b)", lang.E(lang.MustRegex(".*b", _ab)), false, true, true, true},
+		{"R(Σ*b)", lang.R(lang.MustRegex(".*b", _ab)), false, false, true, false},
+		{"P(Σ*b)", lang.P(lang.MustRegex(".*b", _ab)), false, false, false, true},
+	}
+	for _, tt := range rows {
+		ok := topology.IsClosed(tt.a) == tt.closed &&
+			topology.IsOpen(tt.a) == tt.open &&
+			topology.IsGdelta(tt.a) == tt.gdelta &&
+			topology.IsFsigma(tt.a) == tt.fsigma
+		r.check(ok, "%-9s closed=%v open=%v Gδ=%v Fσ=%v", tt.name,
+			topology.IsClosed(tt.a), topology.IsOpen(tt.a), topology.IsGdelta(tt.a), topology.IsFsigma(tt.a))
+	}
+	metricOK := true
+	for n := 1; n <= 10; n++ {
+		x := word.MustLasso(word.FiniteFromString("a").Repeat(n), word.FiniteFromString("b"))
+		y := word.MustLasso(word.FiniteFromString("a").Repeat(2*n), word.FiniteFromString("b"))
+		want := 1.0
+		for i := 0; i < n; i++ {
+			want /= 2
+		}
+		if topology.Distance(x, y) != want {
+			metricOK = false
+		}
+	}
+	r.check(metricOK, "μ(a^n b^ω, a^2n b^ω) = 2^-n for n ≤ 10")
+	return r
+}
+
+// E10TemporalLaws verifies the temporal-logic view: Sat(□p) = A(esat p)
+// and friends, by checking Sat(f) = L(automaton(f)) on a corpus for each
+// canonical form and equivalence law of §4.
+func E10TemporalLaws() *Report {
+	r := &Report{ID: "E10", Title: "§4 temporal-logic view — Sat(κ-formula) = κ(esat)", OK: true}
+	formulas := []string{
+		"G p", "F p", "G F p", "F G p",
+		"G (p -> F q)", "p -> G q", "G p | F q",
+		"G (p -> F G q)", "G F p -> G F q", "p U q", "p W q",
+	}
+	alpha, _ := alphabet.Valuations([]string{"p", "q"})
+	corpus := gen.Lassos(alpha, 2, 2)
+	for _, fstr := range formulas {
+		f := ltl.MustParse(fstr)
+		aut, err := core.CompileFormula(f, []string{"p", "q"})
+		if err != nil {
+			r.check(false, "%s: %v", fstr, err)
+			continue
+		}
+		mismatch := 0
+		for _, w := range corpus {
+			want, err1 := eval.Holds(f, w)
+			got, err2 := aut.Accepts(w)
+			if err1 != nil || err2 != nil || want != got {
+				mismatch++
+			}
+		}
+		r.check(mismatch == 0, "Sat(%-16s) = L(automaton) on %d words (%d mismatches)", fstr, len(corpus), mismatch)
+	}
+	return r
+}
+
+// E11Responsiveness reproduces the §4 responsiveness summary: five
+// variants of "p stimulates q" in five classes, with separating traces.
+func E11Responsiveness() *Report {
+	r := &Report{ID: "E11", Title: "§4 responsiveness summary — five variants, five classes", OK: true}
+	rows := []struct {
+		fstr string
+		want core.Class
+	}{
+		{"p -> F q", core.Guarantee},
+		{"F p -> F (q & O p)", core.Obligation},
+		{"G (p -> F q)", core.Recurrence},
+		{"p -> F G q", core.Persistence},
+		{"G F p -> G F q", core.Reactivity},
+	}
+	for _, tt := range rows {
+		c, err := core.ClassifyFormula(ltl.MustParse(tt.fstr), nil)
+		if err != nil {
+			r.check(false, "%s: %v", tt.fstr, err)
+			continue
+		}
+		r.check(c.Lowest() == tt.want, "%-22s class %v (want %v)", tt.fstr, c.Lowest(), tt.want)
+	}
+	// Separating computation: one burst of p answered once satisfies the
+	// obligation variant but not the recurrence variant.
+	p, q, none := alphabet.Valuation{"p": true}.Symbol(), alphabet.Valuation{"q": true}.Symbol(), alphabet.Valuation{}.Symbol()
+	w := word.MustLasso(word.Finite{p, q}, word.Finite{p, none})
+	ob, _ := eval.Holds(ltl.MustParse("F p -> F (q & O p)"), w)
+	rec, _ := eval.Holds(ltl.MustParse("G (p -> F q)"), w)
+	r.check(ob && !rec, "trace pq(p∅)^ω separates obligation (%v) from recurrence (%v)", ob, rec)
+	return r
+}
+
+// E12RoundTrip verifies Prop. 5.3/5.1: each κ-formula compiles to an
+// automaton whose semantic class matches the syntactic one, and the
+// automata are counter-free where the theory requires it.
+func E12RoundTrip() *Report {
+	r := &Report{ID: "E12", Title: "§5 formula → κ-automaton round trip", OK: true}
+	rows := []struct {
+		fstr string
+		want core.Class
+	}{
+		{"G p", core.Safety},
+		{"F p", core.Guarantee},
+		{"G p | F q", core.Obligation},
+		{"G F p", core.Recurrence},
+		{"F G p", core.Persistence},
+		{"G F p | F G q", core.Reactivity},
+	}
+	for _, tt := range rows {
+		syn, _, err := core.SyntacticClass(ltl.MustParse(tt.fstr))
+		if err != nil {
+			r.check(false, "%s: %v", tt.fstr, err)
+			continue
+		}
+		sem, err := core.ClassifyFormula(ltl.MustParse(tt.fstr), nil)
+		if err != nil {
+			r.check(false, "%s: %v", tt.fstr, err)
+			continue
+		}
+		r.check(syn == tt.want && sem.Lowest() == tt.want,
+			"%-16s syntactic %v = semantic %v = expected %v", tt.fstr, syn, sem.Lowest(), tt.want)
+	}
+	// Counter-freeness (Prop. 5.4 direction): esat DFAs of formulas are
+	// counter-free; the mod-2 counter is not.
+	d, err := regex.CompileString("(aa)^+", _ab)
+	if err == nil {
+		cf, err2 := d.Minimize().IsCounterFree(0)
+		r.check(err2 == nil && !cf, "(aa)⁺ automaton counts mod 2: counter-free = %v", cf)
+	}
+	d2, err := regex.CompileString("a^+b*", _ab)
+	if err == nil {
+		cf, err2 := d2.Minimize().IsCounterFree(0)
+		r.check(err2 == nil && cf, "a⁺b* automaton is counter-free = %v", cf)
+	}
+	return r
+}
+
+// E13Decide exercises the §5.1 decision procedures on random Streett
+// automata of growing size, confirming internal consistency (safety ⊆
+// obligation ⊆ recurrence∩persistence ⊆ reactivity, closure agreement).
+func E13Decide() *Report {
+	r := &Report{ID: "E13", Title: "§5.1 decision procedures — consistency at scale", OK: true}
+	rng := rand.New(rand.NewSource(113))
+	for _, n := range []int{4, 8, 16, 32} {
+		fails := 0
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			a := gen.RandomStreett(rng, _ab, n, 1+rng.Intn(2), 0.25, 0.4)
+			c := core.ClassifyAutomaton(a)
+			if c.Safety && !c.Obligation {
+				fails++
+			}
+			if c.Guarantee && !c.Obligation {
+				fails++
+			}
+			if c.Obligation != (c.Recurrence && c.Persistence) {
+				fails++
+			}
+			if !c.Reactivity {
+				fails++
+			}
+			if c.Obligation && c.ObligationRank < 1 {
+				fails++
+			}
+			if c.ReactivityRank < 1 {
+				fails++
+			}
+		}
+		r.check(fails == 0, "n=%2d states: %d random automata classified consistently (%d failures)", n, trials, fails)
+	}
+	return r
+}
+
+// E14ModelCheck reproduces the verification examples: Peterson satisfies
+// the full mutex specification, the trivial system exposes the
+// underspecification trap, and the semaphore separates the fairness
+// notions.
+func E14ModelCheck() *Report {
+	r := &Report{ID: "E14", Title: "§1/§4 verification — mutex, fairness separation", OK: true}
+	peterson, err := ts.Peterson()
+	if err != nil {
+		r.check(false, "build Peterson: %v", err)
+		return r
+	}
+	for _, fstr := range []string{"G !(c1 & c2)", "G (w1 -> F c1)", "G (w2 -> F c2)"} {
+		res, err := mc.Verify(peterson, ltl.MustParse(fstr))
+		r.check(err == nil && res.Holds, "Peterson ⊨ %s", fstr)
+	}
+	trivial, err := ts.TrivialMutex()
+	if err != nil {
+		r.check(false, "build trivial: %v", err)
+		return r
+	}
+	res, err := mc.Verify(trivial, ltl.MustParse("G !(c1 & c2)"))
+	r.check(err == nil && res.Holds, "trivial system ⊨ mutual exclusion (the trap)")
+	res, err = mc.Verify(trivial, ltl.MustParse("G (w1 -> F c1)"))
+	r.check(err == nil && !res.Holds, "trivial system ⊭ accessibility (liveness rules it out)")
+
+	weak, err := ts.Semaphore(ts.Weak)
+	if err == nil {
+		res, err = mc.Verify(weak, ltl.MustParse("G (w1 -> F c1)"))
+		r.check(err == nil && !res.Holds, "semaphore+justice admits starvation")
+	}
+	strong, err := ts.Semaphore(ts.Strong)
+	if err == nil {
+		res, err = mc.Verify(strong, ltl.MustParse("G (w1 -> F c1)"))
+		r.check(err == nil && res.Holds, "semaphore+compassion guarantees access")
+	}
+
+	// Dining philosophers: three specification strengths separated by
+	// protocol asymmetry and fairness.
+	progress := ltl.MustParse("G F (e0 | e1 | e2) | F G (t0 & t1 & t2)")
+	access := ltl.MustParse("G (h0 -> F e0)")
+	if sym, err := ts.DiningPhilosophers(3, true, ts.Strong); err == nil {
+		res, err := mc.Verify(sym, progress)
+		r.check(err == nil && !res.Holds, "symmetric philosophers can deadlock")
+	}
+	if asym, err := ts.DiningPhilosophers(3, false, ts.Weak); err == nil {
+		res, err := mc.Verify(asym, progress)
+		r.check(err == nil && res.Holds, "asymmetric philosophers are deadlock-free")
+		res, err = mc.Verify(asym, access)
+		r.check(err == nil && !res.Holds, "justice alone admits a starvation conspiracy")
+	}
+	if asymS, err := ts.DiningPhilosophers(3, false, ts.Strong); err == nil {
+		res, err := mc.Verify(asymS, access)
+		r.check(err == nil && res.Holds, "compassion eliminates starvation")
+	}
+
+	// Elevator: the nearest-call policy starves the far floor, SCAN is
+	// certified by the justice chain rule.
+	serve0 := ltl.MustParse("G (call0 -> F (at0 & open))")
+	if nearest, err := ts.Elevator(ts.Nearest); err == nil {
+		res, err := mc.Verify(nearest, serve0)
+		r.check(err == nil && !res.Holds, "nearest-call elevator starves floor 0")
+	}
+	if scan, err := ts.Elevator(ts.Scan); err == nil {
+		res, err := mc.Verify(scan, serve0)
+		r.check(err == nil && res.Holds, "SCAN elevator serves every floor")
+		cert, err := mc.SynthesizeResponse(scan, ltl.MustParse("call0"), ltl.MustParse("at0 & open"))
+		ok := err == nil
+		if ok {
+			ok = cert.Validate(scan, ltl.MustParse("call0"), ltl.MustParse("at0 & open")) == nil
+		}
+		r.check(ok, "SCAN service carries a validated justice chain-rule certificate")
+	}
+	return r
+}
+
+// Render formats a report for terminal output.
+func Render(r *Report) string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.OK {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "[%s] %s — %s\n", r.ID, r.Title, status)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "    %s\n", row)
+	}
+	return b.String()
+}

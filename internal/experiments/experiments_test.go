@@ -1,0 +1,60 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// TestAllExperimentsPass is the repository's master reproduction check:
+// every paper artifact must regenerate successfully.
+func TestAllExperimentsPass(t *testing.T) {
+	reports := experiments.All()
+	if len(reports) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !r.OK {
+			t.Errorf("experiment %s failed:\n%s", r.ID, experiments.Render(r))
+		}
+		if len(r.Rows) == 0 {
+			t.Errorf("experiment %s produced no rows", r.ID)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := experiments.E9Topology()
+	out := experiments.Render(r)
+	if !strings.Contains(out, "[E9]") || !strings.Contains(out, "PASS") {
+		t.Errorf("render missing header: %q", out)
+	}
+}
+
+func TestOddCAutomatonFamily(t *testing.T) {
+	// The witness family is monotone in k and never degenerates.
+	prev := 0
+	for k := 1; k <= 6; k++ {
+		c := core.ClassifyAutomaton(experiments.OddCAutomaton(k))
+		if c.ObligationRank <= prev-1 {
+			t.Errorf("rank not strictly increasing at k=%d: %d", k, c.ObligationRank)
+		}
+		if c.ObligationRank != k {
+			t.Errorf("k=%d: rank %d", k, c.ObligationRank)
+		}
+		prev = c.ObligationRank
+	}
+}
+
+func TestReactivityFamilyDegenerate(t *testing.T) {
+	if _, err := experiments.ReactivityFamily(0); err == nil {
+		t.Skip("n=0 allowed") // IntersectAll rejects empty; either is fine
+	}
+}

@@ -1,0 +1,223 @@
+// Package gen provides deterministic workload generators used by the test
+// suite and the benchmark harness: exhaustive lasso-word corpora, random
+// DFAs, random Streett automata, and the paper's parameterized witness
+// families.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/alphabet"
+	"repro/internal/dfa"
+	"repro/internal/ltl"
+	"repro/internal/omega"
+	"repro/internal/word"
+)
+
+// Lassos enumerates every lasso word u·v^ω with |u| ≤ maxPrefix and
+// 1 ≤ |v| ≤ maxLoop over the alphabet, deduplicated by canonical form.
+// This corpus is exhaustive for its size bounds: two ω-regular properties
+// whose automata have ≤ n states in total agree everywhere iff they agree
+// on all lassos with |u|,|v| bounded by small multiples of n; tests pick
+// generous bounds.
+func Lassos(alpha *alphabet.Alphabet, maxPrefix, maxLoop int) []word.Lasso {
+	var prefixes []word.Finite
+	prefixes = append(prefixes, word.Finite{})
+	frontier := []word.Finite{{}}
+	for l := 1; l <= maxPrefix; l++ {
+		var next []word.Finite
+		for _, w := range frontier {
+			for _, s := range alpha.Symbols() {
+				nw := append(append(word.Finite{}, w...), s)
+				prefixes = append(prefixes, nw)
+				next = append(next, nw)
+			}
+		}
+		frontier = next
+	}
+	var loops []word.Finite
+	frontier = []word.Finite{{}}
+	for l := 1; l <= maxLoop; l++ {
+		var next []word.Finite
+		for _, w := range frontier {
+			for _, s := range alpha.Symbols() {
+				nw := append(append(word.Finite{}, w...), s)
+				loops = append(loops, nw)
+				next = append(next, nw)
+			}
+		}
+		frontier = next
+	}
+	seen := map[string]bool{}
+	var out []word.Lasso
+	for _, u := range prefixes {
+		for _, v := range loops {
+			w := word.MustLasso(u, v).Canonical()
+			key := w.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// RandomDFA returns a random complete DFA with n states over the alphabet,
+// with each state accepting with probability acceptProb. State 0 is the
+// start state. Deterministic in the rng.
+func RandomDFA(rng *rand.Rand, alpha *alphabet.Alphabet, n int, acceptProb float64) *dfa.DFA {
+	k := alpha.Size()
+	trans := make([][]int, n)
+	accept := make([]bool, n)
+	for q := 0; q < n; q++ {
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			row[s] = rng.Intn(n)
+		}
+		trans[q] = row
+		accept[q] = rng.Float64() < acceptProb
+	}
+	return dfa.MustNew(alpha, trans, 0, accept)
+}
+
+// RandomStreett returns a random complete deterministic Streett automaton
+// with n states and k acceptance pairs. Each state enters each R (resp. P)
+// set with probability rProb (resp. pProb).
+func RandomStreett(rng *rand.Rand, alpha *alphabet.Alphabet, n, pairs int, rProb, pProb float64) *omega.Automaton {
+	syms := alpha.Size()
+	trans := make([][]int, n)
+	for q := 0; q < n; q++ {
+		row := make([]int, syms)
+		for s := 0; s < syms; s++ {
+			row[s] = rng.Intn(n)
+		}
+		trans[q] = row
+	}
+	ps := make([]omega.Pair, pairs)
+	for i := range ps {
+		ps[i] = omega.Pair{R: make([]bool, n), P: make([]bool, n)}
+		for q := 0; q < n; q++ {
+			ps[i].R[q] = rng.Float64() < rProb
+			ps[i].P[q] = rng.Float64() < pProb
+		}
+	}
+	return omega.MustNew(alpha, trans, 0, ps)
+}
+
+// RandomLasso returns a random lasso word with prefix length ≤ maxPrefix
+// and loop length in [1, maxLoop].
+func RandomLasso(rng *rand.Rand, alpha *alphabet.Alphabet, maxPrefix, maxLoop int) word.Lasso {
+	pl := rng.Intn(maxPrefix + 1)
+	ll := 1 + rng.Intn(maxLoop)
+	u := make(word.Finite, pl)
+	for i := range u {
+		u[i] = alpha.Symbol(rng.Intn(alpha.Size()))
+	}
+	v := make(word.Finite, ll)
+	for i := range v {
+		v[i] = alpha.Symbol(rng.Intn(alpha.Size()))
+	}
+	return word.MustLasso(u, v)
+}
+
+// FormulaOpts controls RandomFormula.
+type FormulaOpts struct {
+	Props       []string // proposition names to draw from
+	MaxDepth    int      // maximum tree depth
+	AllowFuture bool
+	AllowPast   bool
+}
+
+// RandomFormula generates a random temporal formula. Deterministic in the
+// rng.
+func RandomFormula(rng *rand.Rand, opts FormulaOpts) ltl.Formula {
+	if opts.MaxDepth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return ltl.True{}
+		case 1:
+			return ltl.False{}
+		default:
+			return ltl.Prop{Name: opts.Props[rng.Intn(len(opts.Props))]}
+		}
+	}
+	sub := func() ltl.Formula {
+		o := opts
+		o.MaxDepth--
+		return RandomFormula(rng, o)
+	}
+	var choices []func() ltl.Formula
+	choices = append(choices,
+		func() ltl.Formula { return ltl.Not{F: sub()} },
+		func() ltl.Formula { return ltl.And{L: sub(), R: sub()} },
+		func() ltl.Formula { return ltl.Or{L: sub(), R: sub()} },
+		func() ltl.Formula { return ltl.Implies{L: sub(), R: sub()} },
+		func() ltl.Formula { return ltl.Iff{L: sub(), R: sub()} },
+	)
+	if opts.AllowFuture {
+		choices = append(choices,
+			func() ltl.Formula { return ltl.Next{F: sub()} },
+			func() ltl.Formula { return ltl.Until{L: sub(), R: sub()} },
+			func() ltl.Formula { return ltl.Unless{L: sub(), R: sub()} },
+			func() ltl.Formula { return ltl.Eventually{F: sub()} },
+			func() ltl.Formula { return ltl.Always{F: sub()} },
+		)
+	}
+	if opts.AllowPast {
+		choices = append(choices,
+			func() ltl.Formula { return ltl.Prev{F: sub()} },
+			func() ltl.Formula { return ltl.WeakPrev{F: sub()} },
+			func() ltl.Formula { return ltl.Since{L: sub(), R: sub()} },
+			func() ltl.Formula { return ltl.Back{L: sub(), R: sub()} },
+			func() ltl.Formula { return ltl.Once{F: sub()} },
+			func() ltl.Formula { return ltl.Historically{F: sub()} },
+		)
+	}
+	return choices[rng.Intn(len(choices))]()
+}
+
+// RandomNormalizable generates a random formula inside the normalizable
+// fragment of package core: positive boolean combinations of the
+// canonical units □p, ◇p, □◇p, ◇□p over random past formulas, plus the
+// supported idioms (conditional forms, response, U/W over past operands,
+// ◯-shifted invariance).
+func RandomNormalizable(rng *rand.Rand, props []string, depth int) ltl.Formula {
+	past := func() ltl.Formula {
+		return RandomFormula(rng, FormulaOpts{Props: props, MaxDepth: 2, AllowPast: true})
+	}
+	unit := func() ltl.Formula {
+		p := past()
+		switch rng.Intn(9) {
+		case 0:
+			return ltl.Always{F: p}
+		case 1:
+			return ltl.Eventually{F: p}
+		case 2:
+			return ltl.Always{F: ltl.Eventually{F: p}}
+		case 3:
+			return ltl.Eventually{F: ltl.Always{F: p}}
+		case 4:
+			return ltl.Until{L: p, R: past()}
+		case 5:
+			return ltl.Unless{L: p, R: past()}
+		case 6:
+			return ltl.Always{F: ltl.Implies{L: p, R: ltl.Eventually{F: past()}}}
+		case 7:
+			return ltl.Always{F: ltl.Implies{L: p, R: ltl.Next{F: past()}}}
+		default:
+			return p
+		}
+	}
+	if depth <= 0 {
+		return unit()
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return ltl.And{L: RandomNormalizable(rng, props, depth-1), R: RandomNormalizable(rng, props, depth-1)}
+	case 1:
+		return ltl.Or{L: RandomNormalizable(rng, props, depth-1), R: RandomNormalizable(rng, props, depth-1)}
+	default:
+		return unit()
+	}
+}

@@ -1,0 +1,93 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/gen"
+	"repro/internal/ltl"
+)
+
+var ab = alphabet.MustLetters("ab")
+
+func TestLassosDeduplicated(t *testing.T) {
+	corpus := gen.Lassos(ab, 2, 2)
+	seen := map[string]bool{}
+	for _, w := range corpus {
+		key := w.Canonical().String()
+		if seen[key] {
+			t.Errorf("duplicate lasso %v", w)
+		}
+		seen[key] = true
+	}
+	// |u| ≤ 2, |v| ≤ 2 over a binary alphabet: prefixes {ε,a,b,aa,ab,ba,bb},
+	// loops {a,b,aa,ab,ba,bb}; after canonicalization aa→a etc.
+	if len(corpus) < 10 {
+		t.Errorf("corpus suspiciously small: %d", len(corpus))
+	}
+}
+
+func TestLassosExhaustive(t *testing.T) {
+	// Every lasso with |u| ≤ 1, |v| ≤ 1 appears: a^ω, b^ω, ab^ω, ba^ω
+	// (aa^ω = a^ω etc. deduplicate).
+	corpus := gen.Lassos(ab, 1, 1)
+	want := map[string]bool{"(a)^ω": false, "(b)^ω": false, "a(b)^ω": false, "b(a)^ω": false}
+	for _, w := range corpus {
+		key := w.Canonical().String()
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for k, found := range want {
+		if !found {
+			t.Errorf("missing lasso %s", k)
+		}
+	}
+}
+
+func TestRandomDFADeterministic(t *testing.T) {
+	a := gen.RandomDFA(rand.New(rand.NewSource(5)), ab, 6, 0.5)
+	b := gen.RandomDFA(rand.New(rand.NewSource(5)), ab, 6, 0.5)
+	eq, err := a.Equal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("same seed should give the same DFA")
+	}
+	if a.NumStates() != 6 {
+		t.Errorf("NumStates = %d", a.NumStates())
+	}
+}
+
+func TestRandomStreettShape(t *testing.T) {
+	a := gen.RandomStreett(rand.New(rand.NewSource(7)), ab, 5, 3, 0.3, 0.3)
+	if a.NumStates() != 5 || a.NumPairs() != 3 {
+		t.Errorf("shape: %d states %d pairs", a.NumStates(), a.NumPairs())
+	}
+}
+
+func TestRandomLassoBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		w := gen.RandomLasso(rng, ab, 3, 4)
+		if w.PrefixLen() > 3 || w.LoopLen() < 1 || w.LoopLen() > 4 {
+			t.Fatalf("bounds violated: %v", w)
+		}
+	}
+}
+
+func TestRandomFormulaRespectsOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		pastOnly := gen.RandomFormula(rng, gen.FormulaOpts{Props: []string{"p"}, MaxDepth: 4, AllowPast: true})
+		if !ltl.IsPastFormula(pastOnly) {
+			t.Fatalf("past-only generator produced %v", pastOnly)
+		}
+		futureOnly := gen.RandomFormula(rng, gen.FormulaOpts{Props: []string{"p"}, MaxDepth: 4, AllowFuture: true})
+		if !ltl.IsFutureFormula(futureOnly) {
+			t.Fatalf("future-only generator produced %v", futureOnly)
+		}
+	}
+}

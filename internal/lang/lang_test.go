@@ -1,0 +1,387 @@
+package lang_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dfa"
+	"repro/internal/gen"
+	"repro/internal/lang"
+	"repro/internal/omega"
+	"repro/internal/word"
+)
+
+var ab = alphabet.MustLetters("ab")
+
+func randomProperty(rng *rand.Rand) *lang.Property {
+	return lang.FromDFA(gen.RandomDFA(rng, ab, 2+rng.Intn(4), 0.4))
+}
+
+func mustEqualFin(t *testing.T, p, q *lang.Property, label string) {
+	t.Helper()
+	eq, err := p.Equal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("%s: finitary properties differ", label)
+	}
+}
+
+func mustEquivalent(t *testing.T, a, b *omega.Automaton, label string) {
+	t.Helper()
+	eq, ce, err := a.Equivalent(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("%s: automata differ, counterexample %v", label, ce)
+	}
+}
+
+func TestEpsilonNormalization(t *testing.T) {
+	// a* accepts ε as a DFA; the property must not contain it, but must
+	// contain a, aa, ...
+	p := lang.MustRegex("a*", ab)
+	if p.Contains(word.Finite{}) {
+		t.Error("ε must be normalized out")
+	}
+	if !p.Contains(word.FiniteFromString("a")) {
+		t.Error("a should be in a*")
+	}
+	eq, err := p.Equal(lang.MustRegex("a^+", ab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("a* and a⁺ should be the same finitary property")
+	}
+}
+
+func TestFinitaryDuality(t *testing.T) {
+	// A_f(Φ)‾ = E_f(Φ̄) and E_f(Φ)‾ = A_f(Φ̄), on random properties.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		phi := randomProperty(rng)
+		mustEqualFin(t, phi.Af().Complement(), phi.Complement().Ef(), "¬A_f(Φ) = E_f(¬Φ)")
+		mustEqualFin(t, phi.Ef().Complement(), phi.Complement().Af(), "¬E_f(Φ) = A_f(¬Φ)")
+	}
+}
+
+func TestInfinitaryDuality(t *testing.T) {
+	// ¬A(Φ) = E(Φ̄) and ¬R(Φ) = P(Φ̄), checked exactly on automata via
+	// single-pair complementation.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		phi := randomProperty(rng)
+		notA, err := lang.A(phi).ComplementSinglePair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, notA, lang.E(phi.Complement()), "¬A(Φ) = E(¬Φ)")
+
+		notR, err := lang.R(phi).ComplementSinglePair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, notR, lang.P(phi.Complement()), "¬R(Φ) = P(¬Φ)")
+
+		notP, err := lang.P(phi).ComplementSinglePair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, notP, lang.R(phi.Complement()), "¬P(Φ) = R(¬Φ)")
+	}
+}
+
+func TestGuaranteeClosureLaws(t *testing.T) {
+	// E(Φ1) ∩ E(Φ2) = E(E_f(Φ1) ∩ E_f(Φ2)).
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		phi1, phi2 := randomProperty(rng), randomProperty(rng)
+		lhs, err := lang.E(phi1).Intersect(lang.E(phi2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := phi1.Ef().Intersect(phi2.Ef())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, lhs, lang.E(inner), "E∩E")
+	}
+}
+
+func TestSafetyClosureLaws(t *testing.T) {
+	// A(Φ1) ∩ A(Φ2) = A(Φ1 ∩ Φ2).
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		phi1, phi2 := randomProperty(rng), randomProperty(rng)
+		lhs, err := lang.A(phi1).Intersect(lang.A(phi2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := phi1.Intersect(phi2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, lhs, lang.A(inner), "A∩A")
+	}
+}
+
+func TestUnionClosureLawsOnCorpus(t *testing.T) {
+	// Union laws need a union of automata, which Streett products don't
+	// give directly; verify membership pointwise on an exhaustive corpus.
+	rng := rand.New(rand.NewSource(19))
+	corpus := gen.Lassos(ab, 3, 3)
+	for i := 0; i < 12; i++ {
+		phi1, phi2 := randomProperty(rng), randomProperty(rng)
+
+		// E(Φ1) ∪ E(Φ2) = E(Φ1 ∪ Φ2).
+		union, err := phi1.Union(phi2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, e2, eu := lang.E(phi1), lang.E(phi2), lang.E(union)
+		// A(Φ1) ∪ A(Φ2) = A(A_f(Φ1) ∪ A_f(Φ2)).
+		afU, err := phi1.Af().Union(phi2.Af())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, a2, au := lang.A(phi1), lang.A(phi2), lang.A(afU)
+		// R(Φ1) ∪ R(Φ2) = R(Φ1 ∪ Φ2).
+		r1, r2, ru := lang.R(phi1), lang.R(phi2), lang.R(union)
+		// P(Φ1) ∪ P(Φ2) = P(¬minex(Φ1,Φ2)‾)… the paper:
+		// P(Φ1) ∪ P(Φ2) = P(complement of minex(Φ̄1, Φ̄2)).
+		mx, err := phi1.Complement().Minex(phi2.Complement())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, p2, pu := lang.P(phi1), lang.P(phi2), lang.P(mx.Complement())
+
+		for _, w := range corpus {
+			if eu.AcceptsOrFalse(w) != (e1.AcceptsOrFalse(w) || e2.AcceptsOrFalse(w)) {
+				t.Fatalf("E-union law fails on %v", w)
+			}
+			if au.AcceptsOrFalse(w) != (a1.AcceptsOrFalse(w) || a2.AcceptsOrFalse(w)) {
+				t.Fatalf("A-union law fails on %v", w)
+			}
+			if ru.AcceptsOrFalse(w) != (r1.AcceptsOrFalse(w) || r2.AcceptsOrFalse(w)) {
+				t.Fatalf("R-union law fails on %v", w)
+			}
+			if pu.AcceptsOrFalse(w) != (p1.AcceptsOrFalse(w) || p2.AcceptsOrFalse(w)) {
+				t.Fatalf("P-union law fails on %v (i=%d)", w, i)
+			}
+		}
+	}
+}
+
+func TestRecurrenceIntersectionMinex(t *testing.T) {
+	// R(Φ1) ∩ R(Φ2) = R(minex(Φ1, Φ2)) on random properties, exactly.
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20; i++ {
+		phi1, phi2 := randomProperty(rng), randomProperty(rng)
+		lhs, err := lang.R(phi1).Intersect(lang.R(phi2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := phi1.Minex(phi2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, lhs, lang.R(mx), "R∩R = R(minex)")
+	}
+}
+
+func TestPersistenceIntersection(t *testing.T) {
+	// P(Φ1) ∩ P(Φ2) = P(Φ1 ∩ Φ2).
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 20; i++ {
+		phi1, phi2 := randomProperty(rng), randomProperty(rng)
+		lhs, err := lang.P(phi1).Intersect(lang.P(phi2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := phi1.Intersect(phi2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEquivalent(t, lhs, lang.P(inner), "P∩P = P(∩)")
+	}
+}
+
+func TestInclusionLaws(t *testing.T) {
+	// The paper's hierarchy embeddings:
+	//   A(Φ) = R(A_f(Φ)) = P(A_f(Φ)),  E(Φ) = R(E_f(Φ)) = P(E_f(Φ)).
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		phi := randomProperty(rng)
+		a, e := lang.A(phi), lang.E(phi)
+		mustEquivalent(t, a, lang.R(phi.Af()), "A = R∘A_f")
+		mustEquivalent(t, a, lang.P(phi.Af()), "A = P∘A_f")
+		mustEquivalent(t, e, lang.R(phi.Ef()), "E = R∘E_f")
+		mustEquivalent(t, e, lang.P(phi.Ef()), "E = P∘E_f")
+	}
+}
+
+func TestSafetyCharacterization(t *testing.T) {
+	// Π safety ⇒ Π = A(Pref(Π)); and the (a*b)^ω counterexample.
+	phi := lang.MustRegex("a^+b*", ab)
+	s := lang.A(phi)
+	mustEquivalent(t, s, s.SafetyClosure(), "safety = its closure")
+
+	r := lang.R(lang.MustRegex(".*b", ab)) // (a*b)^ω
+	eq, _, err := r.Equivalent(r.SafetyClosure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("(a*b)^ω should differ from its safety closure")
+	}
+}
+
+func TestApply(t *testing.T) {
+	phi := lang.MustRegex("a^+", ab)
+	for _, op := range []lang.Op{lang.OpA, lang.OpE, lang.OpR, lang.OpP} {
+		a, err := lang.Apply(op, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == nil {
+			t.Fatalf("Apply(%v) returned nil", op)
+		}
+	}
+	if _, err := lang.Apply(lang.Op(99), phi); err == nil {
+		t.Error("unknown op should fail")
+	}
+	if lang.Op(99).String() == "" {
+		t.Error("unknown op should still print")
+	}
+}
+
+func TestObligationAndReactivityBuilders(t *testing.T) {
+	phi1 := lang.MustRegex("a^+", ab)
+	psi1 := lang.MustRegex(".*b", ab)
+	phi2 := lang.MustRegex(".*a", ab)
+	psi2 := lang.MustRegex("b^+", ab)
+
+	ob, err := lang.Obligation([]*lang.Property{phi1, phi2}, []*lang.Property{psi1, psi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.NumPairs() != 2 {
+		t.Errorf("2-conjunct obligation should have 2 pairs, got %d", ob.NumPairs())
+	}
+	re, err := lang.Reactivity([]*lang.Property{phi1, phi2}, []*lang.Property{psi1, psi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumPairs() != 2 {
+		t.Errorf("2-conjunct reactivity should have 2 pairs, got %d", re.NumPairs())
+	}
+
+	// Pointwise semantics check of the 2-conjunct reactivity on a corpus.
+	r1, err := lang.SimpleReactivity(phi1, psi1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := lang.SimpleReactivity(phi2, psi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range gen.Lassos(ab, 3, 3) {
+		want := r1.AcceptsOrFalse(w) && r2.AcceptsOrFalse(w)
+		if got := re.AcceptsOrFalse(w); got != want {
+			t.Fatalf("reactivity conjunction wrong on %v", w)
+		}
+	}
+
+	if _, err := lang.Obligation(nil, nil); err == nil {
+		t.Error("empty obligation should fail")
+	}
+	if _, err := lang.Reactivity([]*lang.Property{phi1}, nil); err == nil {
+		t.Error("mismatched reactivity lists should fail")
+	}
+}
+
+func TestSimpleObligationSemanticsOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	corpus := gen.Lassos(ab, 3, 3)
+	for i := 0; i < 12; i++ {
+		phi, psi := randomProperty(rng), randomProperty(rng)
+		ob, err := lang.SimpleObligation(phi, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aPhi, ePsi := lang.A(phi), lang.E(psi)
+		for _, w := range corpus {
+			want := aPhi.AcceptsOrFalse(w) || ePsi.AcceptsOrFalse(w)
+			if got := ob.AcceptsOrFalse(w); got != want {
+				t.Fatalf("simple obligation wrong on %v (iter %d)", w, i)
+			}
+		}
+	}
+}
+
+func TestSimpleReactivitySemanticsOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	corpus := gen.Lassos(ab, 3, 3)
+	for i := 0; i < 12; i++ {
+		phi, psi := randomProperty(rng), randomProperty(rng)
+		sr, err := lang.SimpleReactivity(phi, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rPhi, pPsi := lang.R(phi), lang.P(psi)
+		for _, w := range corpus {
+			want := rPhi.AcceptsOrFalse(w) || pPsi.AcceptsOrFalse(w)
+			if got := sr.AcceptsOrFalse(w); got != want {
+				t.Fatalf("simple reactivity wrong on %v (iter %d)", w, i)
+			}
+		}
+	}
+}
+
+func TestPropertyAccessors(t *testing.T) {
+	p := lang.MustRegex("a^+", ab)
+	if p.Alphabet() != ab {
+		t.Error("Alphabet() lost identity")
+	}
+	if p.DFA() == nil {
+		t.Error("DFA() nil")
+	}
+	if p.IsEmpty() {
+		t.Error("a⁺ is not empty")
+	}
+	if p.IsUniversal() {
+		t.Error("a⁺ is not universal")
+	}
+	if !lang.MustRegex(".^+", ab).IsUniversal() {
+		t.Error("Σ⁺ is universal")
+	}
+	var _ *dfa.DFA = p.DFA()
+}
+
+func TestAlphabetMismatchErrors(t *testing.T) {
+	abc := alphabet.MustLetters("abc")
+	p := lang.MustRegex("a", ab)
+	q := lang.MustRegex("a", abc)
+	if _, err := lang.SimpleObligation(p, q); err == nil {
+		t.Error("obligation mismatch should fail")
+	}
+	if _, err := lang.SimpleReactivity(p, q); err == nil {
+		t.Error("reactivity mismatch should fail")
+	}
+	if _, err := p.Union(q); err == nil {
+		t.Error("union mismatch should fail")
+	}
+}
+
+func TestFromRegexError(t *testing.T) {
+	if _, err := lang.FromRegex("(", ab); err == nil {
+		t.Error("bad regex should fail")
+	}
+	if _, err := lang.FromRegex("a^w", ab); err == nil {
+		t.Error("ω-regex should fail for finitary property")
+	}
+}

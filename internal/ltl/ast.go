@@ -1,0 +1,491 @@
+// Package ltl implements linear temporal logic with both future and past
+// operators, exactly the language of the paper's §4: the basic operators
+// ◯ (next), U (until), ◯⁻ (previous), S (since), and the derived
+// ◇, □, W (unless/weak until), ◇⁻ (once), □⁻ (historically), B (weak
+// since) and Z (weak previous).
+//
+// ASCII concrete syntax (see Parse): X U W F G for the future operators,
+// Y Z S B O H for the past ones, ! & | -> <-> for the connectives.
+package ltl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a temporal formula.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+	prec() int
+}
+
+// Prop is an atomic proposition.
+type Prop struct{ Name string }
+
+// True is the constant ⊤.
+type True struct{}
+
+// False is the constant ⊥.
+type False struct{}
+
+// Not is negation ¬φ.
+type Not struct{ F Formula }
+
+// And is conjunction φ ∧ ψ.
+type And struct{ L, R Formula }
+
+// Or is disjunction φ ∨ ψ.
+type Or struct{ L, R Formula }
+
+// Implies is implication φ → ψ.
+type Implies struct{ L, R Formula }
+
+// Iff is equivalence φ ↔ ψ.
+type Iff struct{ L, R Formula }
+
+// Next is ◯φ: φ holds at the next position.
+type Next struct{ F Formula }
+
+// Until is φ U ψ (strong): ψ eventually holds and φ holds until then.
+type Until struct{ L, R Formula }
+
+// Unless is φ W ψ (weak until / the paper's "unless"): □φ ∨ (φ U ψ).
+type Unless struct{ L, R Formula }
+
+// Eventually is ◇φ.
+type Eventually struct{ F Formula }
+
+// Always is □φ.
+type Always struct{ F Formula }
+
+// Prev is ◯⁻φ (strong previous): there is a previous position and φ held.
+type Prev struct{ F Formula }
+
+// WeakPrev is ◯̃⁻φ (weak previous): true at the initial position.
+type WeakPrev struct{ F Formula }
+
+// Since is φ S ψ (strong since): ψ held at some earlier-or-current
+// position and φ has held since (after it).
+type Since struct{ L, R Formula }
+
+// Back is φ B ψ (weak since): φ S ψ ∨ □⁻φ.
+type Back struct{ L, R Formula }
+
+// Once is ◇⁻φ: φ held at some position ≤ now.
+type Once struct{ F Formula }
+
+// Historically is □⁻φ: φ held at every position ≤ now.
+type Historically struct{ F Formula }
+
+func (Prop) isFormula()         {}
+func (True) isFormula()         {}
+func (False) isFormula()        {}
+func (Not) isFormula()          {}
+func (And) isFormula()          {}
+func (Or) isFormula()           {}
+func (Implies) isFormula()      {}
+func (Iff) isFormula()          {}
+func (Next) isFormula()         {}
+func (Until) isFormula()        {}
+func (Unless) isFormula()       {}
+func (Eventually) isFormula()   {}
+func (Always) isFormula()       {}
+func (Prev) isFormula()         {}
+func (WeakPrev) isFormula()     {}
+func (Since) isFormula()        {}
+func (Back) isFormula()         {}
+func (Once) isFormula()         {}
+func (Historically) isFormula() {}
+
+// Precedence levels for printing: higher binds tighter.
+const (
+	precIff = iota + 1
+	precImplies
+	precOr
+	precAnd
+	precBinTemp // U W S B
+	precUnary   // ! X F G Y Z O H
+	precAtom
+)
+
+func (Prop) prec() int         { return precAtom }
+func (True) prec() int         { return precAtom }
+func (False) prec() int        { return precAtom }
+func (Not) prec() int          { return precUnary }
+func (And) prec() int          { return precAnd }
+func (Or) prec() int           { return precOr }
+func (Implies) prec() int      { return precImplies }
+func (Iff) prec() int          { return precIff }
+func (Next) prec() int         { return precUnary }
+func (Until) prec() int        { return precBinTemp }
+func (Unless) prec() int       { return precBinTemp }
+func (Eventually) prec() int   { return precUnary }
+func (Always) prec() int       { return precUnary }
+func (Prev) prec() int         { return precUnary }
+func (WeakPrev) prec() int     { return precUnary }
+func (Since) prec() int        { return precBinTemp }
+func (Back) prec() int         { return precBinTemp }
+func (Once) prec() int         { return precUnary }
+func (Historically) prec() int { return precUnary }
+
+func wrap(f Formula, parentPrec int) string {
+	if f.prec() < parentPrec {
+		return "(" + f.String() + ")"
+	}
+	return f.String()
+}
+
+func (p Prop) String() string { return p.Name }
+func (True) String() string   { return "true" }
+func (False) String() string  { return "false" }
+func (n Not) String() string  { return "!" + wrap(n.F, precUnary+1) }
+func (a And) String() string  { return wrap(a.L, precAnd) + " & " + wrap(a.R, precAnd+1) }
+func (o Or) String() string   { return wrap(o.L, precOr) + " | " + wrap(o.R, precOr+1) }
+func (i Implies) String() string {
+	return wrap(i.L, precImplies+1) + " -> " + wrap(i.R, precImplies)
+}
+func (i Iff) String() string          { return wrap(i.L, precIff+1) + " <-> " + wrap(i.R, precIff+1) }
+func (n Next) String() string         { return "X " + wrap(n.F, precUnary) }
+func (u Until) String() string        { return wrap(u.L, precBinTemp+1) + " U " + wrap(u.R, precBinTemp+1) }
+func (u Unless) String() string       { return wrap(u.L, precBinTemp+1) + " W " + wrap(u.R, precBinTemp+1) }
+func (e Eventually) String() string   { return "F " + wrap(e.F, precUnary) }
+func (a Always) String() string       { return "G " + wrap(a.F, precUnary) }
+func (p Prev) String() string         { return "Y " + wrap(p.F, precUnary) }
+func (p WeakPrev) String() string     { return "Z " + wrap(p.F, precUnary) }
+func (s Since) String() string        { return wrap(s.L, precBinTemp+1) + " S " + wrap(s.R, precBinTemp+1) }
+func (b Back) String() string         { return wrap(b.L, precBinTemp+1) + " B " + wrap(b.R, precBinTemp+1) }
+func (o Once) String() string         { return "O " + wrap(o.F, precUnary) }
+func (h Historically) String() string { return "H " + wrap(h.F, precUnary) }
+
+// First is the formula ¬◯⁻true, which holds exactly at the initial
+// position of a computation (the paper's `first`).
+func First() Formula { return Not{F: Prev{F: True{}}} }
+
+// Props returns the sorted set of proposition names in the formula.
+func Props(f Formula) []string {
+	seen := map[string]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch t := f.(type) {
+		case Prop:
+			seen[t.Name] = true
+		case Not:
+			walk(t.F)
+		case And:
+			walk(t.L)
+			walk(t.R)
+		case Or:
+			walk(t.L)
+			walk(t.R)
+		case Implies:
+			walk(t.L)
+			walk(t.R)
+		case Iff:
+			walk(t.L)
+			walk(t.R)
+		case Next:
+			walk(t.F)
+		case Until:
+			walk(t.L)
+			walk(t.R)
+		case Unless:
+			walk(t.L)
+			walk(t.R)
+		case Eventually:
+			walk(t.F)
+		case Always:
+			walk(t.F)
+		case Prev:
+			walk(t.F)
+		case WeakPrev:
+			walk(t.F)
+		case Since:
+			walk(t.L)
+			walk(t.R)
+		case Back:
+			walk(t.L)
+			walk(t.R)
+		case Once:
+			walk(t.F)
+		case Historically:
+			walk(t.F)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Children returns the immediate subformulas.
+func Children(f Formula) []Formula {
+	switch t := f.(type) {
+	case Not:
+		return []Formula{t.F}
+	case And:
+		return []Formula{t.L, t.R}
+	case Or:
+		return []Formula{t.L, t.R}
+	case Implies:
+		return []Formula{t.L, t.R}
+	case Iff:
+		return []Formula{t.L, t.R}
+	case Next:
+		return []Formula{t.F}
+	case Until:
+		return []Formula{t.L, t.R}
+	case Unless:
+		return []Formula{t.L, t.R}
+	case Eventually:
+		return []Formula{t.F}
+	case Always:
+		return []Formula{t.F}
+	case Prev:
+		return []Formula{t.F}
+	case WeakPrev:
+		return []Formula{t.F}
+	case Since:
+		return []Formula{t.L, t.R}
+	case Back:
+		return []Formula{t.L, t.R}
+	case Once:
+		return []Formula{t.F}
+	case Historically:
+		return []Formula{t.F}
+	default:
+		return nil
+	}
+}
+
+// Subformulas returns every distinct subformula (by printed form),
+// children before parents.
+func Subformulas(f Formula) []Formula {
+	var out []Formula
+	seen := map[string]bool{}
+	var walk func(Formula)
+	walk = func(g Formula) {
+		for _, c := range Children(g) {
+			walk(c)
+		}
+		key := g.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, g)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// IsStateFormula reports whether the formula has no temporal operators.
+func IsStateFormula(f Formula) bool {
+	switch f.(type) {
+	case Next, Until, Unless, Eventually, Always, Prev, WeakPrev, Since, Back, Once, Historically:
+		return false
+	}
+	for _, c := range Children(f) {
+		if !IsStateFormula(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPastFormula reports whether the formula contains no future operators
+// (state formulas are past formulas).
+func IsPastFormula(f Formula) bool {
+	switch f.(type) {
+	case Next, Until, Unless, Eventually, Always:
+		return false
+	}
+	for _, c := range Children(f) {
+		if !IsPastFormula(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFutureFormula reports whether the formula contains no past operators.
+func IsFutureFormula(f Formula) bool {
+	switch f.(type) {
+	case Prev, WeakPrev, Since, Back, Once, Historically:
+		return false
+	}
+	for _, c := range Children(f) {
+		if !IsFutureFormula(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of nodes of the formula tree.
+func Size(f Formula) int {
+	n := 1
+	for _, c := range Children(f) {
+		n += Size(c)
+	}
+	return n
+}
+
+// Equal reports syntactic equality (by canonical printing).
+func Equal(f, g Formula) bool { return f.String() == g.String() }
+
+// Nnf returns the negation normal form: negations pushed down to
+// propositions, implications and equivalences expanded, using the dual
+// pairs (∧,∨), (◯,◯), (U,… via W), (◇,□), (◯⁻,◯̃⁻), (S,B), (◇⁻,□⁻).
+func Nnf(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, neg bool) Formula {
+	switch t := f.(type) {
+	case Prop:
+		if neg {
+			return Not{F: t}
+		}
+		return t
+	case True:
+		if neg {
+			return False{}
+		}
+		return t
+	case False:
+		if neg {
+			return True{}
+		}
+		return t
+	case Not:
+		return nnf(t.F, !neg)
+	case And:
+		if neg {
+			return Or{L: nnf(t.L, true), R: nnf(t.R, true)}
+		}
+		return And{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Or:
+		if neg {
+			return And{L: nnf(t.L, true), R: nnf(t.R, true)}
+		}
+		return Or{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Implies:
+		return nnf(Or{L: Not{F: t.L}, R: t.R}, neg)
+	case Iff:
+		// (L∧R) ∨ (¬L∧¬R)
+		expanded := Or{
+			L: And{L: t.L, R: t.R},
+			R: And{L: Not{F: t.L}, R: Not{F: t.R}},
+		}
+		return nnf(expanded, neg)
+	case Next:
+		return Next{F: nnf(t.F, neg)} // self-dual on infinite words
+	case Until:
+		if neg {
+			// ¬(L U R) = ¬R W (¬L ∧ ¬R)
+			return Unless{
+				L: nnf(t.R, true),
+				R: And{L: nnf(t.L, true), R: nnf(t.R, true)},
+			}
+		}
+		return Until{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Unless:
+		if neg {
+			// ¬(L W R) = ¬R U (¬L ∧ ¬R)
+			return Until{
+				L: nnf(t.R, true),
+				R: And{L: nnf(t.L, true), R: nnf(t.R, true)},
+			}
+		}
+		return Unless{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Eventually:
+		if neg {
+			return Always{F: nnf(t.F, true)}
+		}
+		return Eventually{F: nnf(t.F, false)}
+	case Always:
+		if neg {
+			return Eventually{F: nnf(t.F, true)}
+		}
+		return Always{F: nnf(t.F, false)}
+	case Prev:
+		if neg {
+			return WeakPrev{F: nnf(t.F, true)}
+		}
+		return Prev{F: nnf(t.F, false)}
+	case WeakPrev:
+		if neg {
+			return Prev{F: nnf(t.F, true)}
+		}
+		return WeakPrev{F: nnf(t.F, false)}
+	case Since:
+		if neg {
+			// ¬(L S R) = ¬R B (¬L ∧ ¬R)
+			return Back{
+				L: nnf(t.R, true),
+				R: And{L: nnf(t.L, true), R: nnf(t.R, true)},
+			}
+		}
+		return Since{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Back:
+		if neg {
+			// ¬(L B R) = ¬R S (¬L ∧ ¬R)
+			return Since{
+				L: nnf(t.R, true),
+				R: And{L: nnf(t.L, true), R: nnf(t.R, true)},
+			}
+		}
+		return Back{L: nnf(t.L, false), R: nnf(t.R, false)}
+	case Once:
+		if neg {
+			return Historically{F: nnf(t.F, true)}
+		}
+		return Once{F: nnf(t.F, false)}
+	case Historically:
+		if neg {
+			return Once{F: nnf(t.F, true)}
+		}
+		return Historically{F: nnf(t.F, false)}
+	default:
+		panic(fmt.Sprintf("ltl: unknown formula %T", f))
+	}
+}
+
+// BigAnd folds a conjunction (true when empty).
+func BigAnd(fs []Formula) Formula {
+	if len(fs) == 0 {
+		return True{}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = And{L: out, R: f}
+	}
+	return out
+}
+
+// BigOr folds a disjunction (false when empty).
+func BigOr(fs []Formula) Formula {
+	if len(fs) == 0 {
+		return False{}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = Or{L: out, R: f}
+	}
+	return out
+}
+
+// sanitizeName validates a proposition name for the parser/printer.
+func sanitizeName(s string) error {
+	if s == "" {
+		return fmt.Errorf("ltl: empty proposition name")
+	}
+	if strings.ContainsAny(s, " ()!&|<->") {
+		return fmt.Errorf("ltl: bad proposition name %q", s)
+	}
+	return nil
+}

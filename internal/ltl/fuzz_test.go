@@ -1,0 +1,94 @@
+package ltl_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ltl"
+)
+
+// TestParseNeverPanics feeds arbitrary strings to the parser: it must
+// either return a formula or an error, never panic, and successful parses
+// must re-parse to the same formula.
+func TestParseNeverPanics(t *testing.T) {
+	letters := []byte("pq !&|<->()XFGUWYZSBOH_ab")
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(24)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = letters[rng.Intn(len(letters))]
+		}
+		input := string(buf)
+		f, err := ltl.Parse(input)
+		if err != nil {
+			continue
+		}
+		g, err := ltl.Parse(f.String())
+		if err != nil {
+			t.Fatalf("parse(%q) ok but print %q does not re-parse: %v", input, f.String(), err)
+		}
+		if !ltl.Equal(f, g) {
+			t.Fatalf("round trip changed %q: %q vs %q", input, f.String(), g.String())
+		}
+	}
+}
+
+// TestParseQuickBytes extends the fuzzing to fully random byte strings
+// via testing/quick.
+func TestParseQuickBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ltl.Parse(string(data)) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNnfIdempotent: NNF of an NNF formula is itself.
+func TestNnfIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for i := 0; i < 300; i++ {
+		f := randomFormula(rng)
+		once := ltl.Nnf(f)
+		twice := ltl.Nnf(once)
+		if !ltl.Equal(once, twice) {
+			t.Fatalf("NNF not idempotent on %q: %q vs %q", f.String(), once.String(), twice.String())
+		}
+	}
+}
+
+func randomFormula(rng *rand.Rand) ltl.Formula {
+	var build func(depth int) ltl.Formula
+	props := []string{"p", "q"}
+	build = func(depth int) ltl.Formula {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return ltl.Prop{Name: props[rng.Intn(len(props))]}
+		}
+		switch rng.Intn(10) {
+		case 0:
+			return ltl.Not{F: build(depth - 1)}
+		case 1:
+			return ltl.And{L: build(depth - 1), R: build(depth - 1)}
+		case 2:
+			return ltl.Or{L: build(depth - 1), R: build(depth - 1)}
+		case 3:
+			return ltl.Implies{L: build(depth - 1), R: build(depth - 1)}
+		case 4:
+			return ltl.Until{L: build(depth - 1), R: build(depth - 1)}
+		case 5:
+			return ltl.Since{L: build(depth - 1), R: build(depth - 1)}
+		case 6:
+			return ltl.Always{F: build(depth - 1)}
+		case 7:
+			return ltl.Eventually{F: build(depth - 1)}
+		case 8:
+			return ltl.Prev{F: build(depth - 1)}
+		default:
+			return ltl.Next{F: build(depth - 1)}
+		}
+	}
+	return build(4)
+}

@@ -1,0 +1,178 @@
+package ltl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ltl"
+)
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"p", "p"},
+		{"!p", "!p"},
+		{"p & q", "p & q"},
+		{"p | q & r", "p | q & r"},
+		{"(p | q) & r", "(p | q) & r"},
+		{"p -> q -> r", "p -> q -> r"}, // right associative
+		{"p <-> q", "p <-> q"},
+		{"G p", "G p"},
+		{"F p", "F p"},
+		{"X p", "X p"},
+		{"p U q", "p U q"},
+		{"p W q", "p W q"},
+		{"Y p", "Y p"},
+		{"Z p", "Z p"},
+		{"p S q", "p S q"},
+		{"p B q", "p B q"},
+		{"O p", "O p"},
+		{"H p", "H p"},
+		{"G(p -> F q)", "G (p -> F q)"},
+		{"G F p | F G q", "G F p | F G q"},
+		{"p U q U r", "p U (q U r)"}, // right associative
+		{"true & false", "true & false"},
+		{"first", "!(Y true)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			f, err := ltl.Parse(tt.in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.in, err)
+			}
+			if got := f.String(); got != tt.want {
+				t.Errorf("Parse(%q).String() = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "(", "(p", "p)", "p &", "& p", "U p", "p U", "G", "!",
+		"p $ q", "X", "p <->",
+	}
+	for _, in := range bad {
+		if _, err := ltl.Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		f := gen.RandomFormula(rng, gen.FormulaOpts{
+			Props: []string{"p", "q", "r"}, MaxDepth: 5, AllowFuture: true, AllowPast: true,
+		})
+		g, err := ltl.Parse(f.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", f.String(), err)
+		}
+		if !ltl.Equal(f, g) {
+			t.Fatalf("round trip changed %q into %q", f.String(), g.String())
+		}
+	}
+}
+
+func TestProps(t *testing.T) {
+	f := ltl.MustParse("G(p -> F q) & (r S p)")
+	got := ltl.Props(f)
+	want := []string{"p", "q", "r"}
+	if len(got) != len(want) {
+		t.Fatalf("Props = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Props = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	tests := []struct {
+		in                  string
+		state, past, future bool
+	}{
+		{"p & !q", true, true, true},
+		{"Y p", false, true, false},
+		{"p S q", false, true, false},
+		{"H p", false, true, false},
+		{"X p", false, false, true},
+		{"p U q", false, false, true},
+		{"G p", false, false, true},
+		{"G(p S q)", false, false, false},
+		{"true", true, true, true},
+	}
+	for _, tt := range tests {
+		f := ltl.MustParse(tt.in)
+		if got := ltl.IsStateFormula(f); got != tt.state {
+			t.Errorf("IsStateFormula(%s) = %v", tt.in, got)
+		}
+		if got := ltl.IsPastFormula(f); got != tt.past {
+			t.Errorf("IsPastFormula(%s) = %v", tt.in, got)
+		}
+		if got := ltl.IsFutureFormula(f); got != tt.future {
+			t.Errorf("IsFutureFormula(%s) = %v", tt.in, got)
+		}
+	}
+}
+
+func TestSubformulasAndSize(t *testing.T) {
+	f := ltl.MustParse("G(p -> F p)")
+	subs := ltl.Subformulas(f)
+	// p, F p, p -> F p, G(...) — p deduplicated.
+	if len(subs) != 4 {
+		t.Fatalf("Subformulas = %d, want 4", len(subs))
+	}
+	if ltl.Size(f) != 5 {
+		t.Errorf("Size = %d, want 5", ltl.Size(f))
+	}
+}
+
+func TestNnfShape(t *testing.T) {
+	// After NNF, negations appear only on propositions.
+	rng := rand.New(rand.NewSource(5))
+	var check func(f ltl.Formula) bool
+	check = func(f ltl.Formula) bool {
+		if n, ok := f.(ltl.Not); ok {
+			if _, isProp := n.F.(ltl.Prop); !isProp {
+				return false
+			}
+		}
+		for _, c := range ltl.Children(f) {
+			if !check(c) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 300; i++ {
+		f := gen.RandomFormula(rng, gen.FormulaOpts{
+			Props: []string{"p", "q"}, MaxDepth: 5, AllowFuture: true, AllowPast: true,
+		})
+		n := ltl.Nnf(f)
+		if !check(n) {
+			t.Fatalf("NNF of %q has a non-atomic negation: %q", f.String(), n.String())
+		}
+	}
+}
+
+func TestBigAndOr(t *testing.T) {
+	if ltl.BigAnd(nil).String() != "true" {
+		t.Error("empty BigAnd should be true")
+	}
+	if ltl.BigOr(nil).String() != "false" {
+		t.Error("empty BigOr should be false")
+	}
+	fs := []ltl.Formula{ltl.Prop{Name: "p"}, ltl.Prop{Name: "q"}}
+	if ltl.BigAnd(fs).String() != "p & q" {
+		t.Errorf("BigAnd = %q", ltl.BigAnd(fs).String())
+	}
+	if ltl.BigOr(fs).String() != "p | q" {
+		t.Errorf("BigOr = %q", ltl.BigOr(fs).String())
+	}
+}

@@ -1,0 +1,268 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a formula in ASCII syntax.
+//
+// Grammar (precedence low → high):
+//
+//	iff     := implies ('<->' implies)*
+//	implies := or ('->' implies)?          (right associative)
+//	or      := and ('|' and)*
+//	and     := bintemp ('&' bintemp)*
+//	bintemp := unary (('U'|'W'|'S'|'B') unary)*   (right associative)
+//	unary   := ('!'|'X'|'F'|'G'|'Y'|'Z'|'O'|'H') unary | atom
+//	atom    := 'true' | 'false' | 'first' | prop | '(' iff ')'
+//
+// Propositions are identifiers beginning with a lowercase letter or '_'
+// (excluding the keywords true/false/first); the single uppercase letters
+// X F G U W Y Z S B O H are reserved operators.
+func Parse(input string) (Formula, error) {
+	p := &parser{toks: nil}
+	if err := p.lex(input); err != nil {
+		return nil, err
+	}
+	f, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("ltl: unexpected %q", p.toks[p.pos])
+	}
+	return f, nil
+}
+
+// MustParse is Parse but panics on error; for fixtures and examples.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) lex(s string) error {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '!' || c == '&' || c == '|':
+			p.toks = append(p.toks, string(c))
+			i++
+		case strings.HasPrefix(s[i:], "<->"):
+			p.toks = append(p.toks, "<->")
+			i += 3
+		case strings.HasPrefix(s[i:], "->"):
+			p.toks = append(p.toks, "->")
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			p.toks = append(p.toks, s[i:j])
+			i = j
+		default:
+			return fmt.Errorf("ltl: unexpected character %q at %d", string(c), i)
+		}
+	}
+	return nil
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) parseIff() (Formula, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "<->" {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		left = Iff{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "->" {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseBinTemp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" {
+		p.next()
+		right, err := p.parseBinTemp()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBinTemp() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek() {
+	case "U", "W", "S", "B":
+		op := p.next()
+		right, err := p.parseBinTemp() // right associative
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "U":
+			return Until{L: left, R: right}, nil
+		case "W":
+			return Unless{L: left, R: right}, nil
+		case "S":
+			return Since{L: left, R: right}, nil
+		default:
+			return Back{L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch t := p.peek(); t {
+	case "!":
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case "X", "F", "G", "Y", "Z", "O", "H":
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "X":
+			return Next{F: f}, nil
+		case "F":
+			return Eventually{F: f}, nil
+		case "G":
+			return Always{F: f}, nil
+		case "Y":
+			return Prev{F: f}, nil
+		case "Z":
+			return WeakPrev{F: f}, nil
+		case "O":
+			return Once{F: f}, nil
+		default:
+			return Historically{F: f}, nil
+		}
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	switch t := p.peek(); {
+	case t == "(":
+		p.next()
+		f, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("ltl: missing ')'")
+		}
+		p.next()
+		return f, nil
+	case t == "true":
+		p.next()
+		return True{}, nil
+	case t == "false":
+		p.next()
+		return False{}, nil
+	case t == "first":
+		p.next()
+		return First(), nil
+	case t == "":
+		return nil, fmt.Errorf("ltl: unexpected end of input")
+	case t == "U" || t == "W" || t == "S" || t == "B":
+		return nil, fmt.Errorf("ltl: operator %q needs a left operand", t)
+	case isIdent(t):
+		p.next()
+		if err := sanitizeName(t); err != nil {
+			return nil, err
+		}
+		return Prop{Name: t}, nil
+	default:
+		return nil, fmt.Errorf("ltl: unexpected token %q", t)
+	}
+}
+
+func isIdent(t string) bool {
+	if t == "" {
+		return false
+	}
+	c := rune(t[0])
+	if !(unicode.IsLower(c) || c == '_') {
+		return false
+	}
+	return true
+}

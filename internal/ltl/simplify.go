@@ -1,0 +1,214 @@
+package ltl
+
+// Simplify applies semantics-preserving local rewrites bottom-up:
+// constant folding, double negation, idempotence, and the standard
+// temporal unit laws (◇◇=◇, □□=□, ◇⁻◇⁻=◇⁻, x U true = true, …). It is
+// used to keep generated normal forms readable; it never changes the
+// meaning of a formula (property-tested against the evaluator).
+func Simplify(f Formula) Formula {
+	switch t := f.(type) {
+	case Not:
+		x := Simplify(t.F)
+		switch inner := x.(type) {
+		case True:
+			return False{}
+		case False:
+			return True{}
+		case Not:
+			return inner.F
+		}
+		return Not{F: x}
+	case And:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isFalse(l) || isFalse(r) {
+			return False{}
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isTrue(r) {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return And{L: l, R: r}
+	case Or:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isTrue(l) || isTrue(r) {
+			return True{}
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isFalse(r) {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Or{L: l, R: r}
+	case Implies:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isFalse(l) || isTrue(r) {
+			return True{}
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isFalse(r) {
+			return Simplify(Not{F: l})
+		}
+		if Equal(l, r) {
+			return True{}
+		}
+		return Implies{L: l, R: r}
+	case Iff:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isTrue(l) {
+			return r
+		}
+		if isTrue(r) {
+			return l
+		}
+		if isFalse(l) {
+			return Simplify(Not{F: r})
+		}
+		if isFalse(r) {
+			return Simplify(Not{F: l})
+		}
+		if Equal(l, r) {
+			return True{}
+		}
+		return Iff{L: l, R: r}
+	case Next:
+		x := Simplify(t.F)
+		if isTrue(x) || isFalse(x) {
+			return x // on infinite words ◯ preserves constants
+		}
+		return Next{F: x}
+	case Eventually:
+		x := Simplify(t.F)
+		if isTrue(x) || isFalse(x) {
+			return x
+		}
+		if inner, ok := x.(Eventually); ok {
+			return inner
+		}
+		return Eventually{F: x}
+	case Always:
+		x := Simplify(t.F)
+		if isTrue(x) || isFalse(x) {
+			return x
+		}
+		if inner, ok := x.(Always); ok {
+			return inner
+		}
+		return Always{F: x}
+	case Until:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isTrue(r) || isFalse(r) {
+			return r
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isTrue(l) {
+			return Simplify(Eventually{F: r})
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Until{L: l, R: r}
+	case Unless:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isTrue(r) {
+			return True{}
+		}
+		if isFalse(r) {
+			return Simplify(Always{F: l})
+		}
+		if isTrue(l) {
+			return True{}
+		}
+		if isFalse(l) {
+			return r
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Unless{L: l, R: r}
+	case Prev:
+		x := Simplify(t.F)
+		if isFalse(x) {
+			return False{}
+		}
+		return Prev{F: x}
+	case WeakPrev:
+		x := Simplify(t.F)
+		if isTrue(x) {
+			return True{}
+		}
+		return WeakPrev{F: x}
+	case Since:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isTrue(r) || isFalse(r) {
+			return r
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isTrue(l) {
+			return Simplify(Once{F: r})
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Since{L: l, R: r}
+	case Back:
+		l, r := Simplify(t.L), Simplify(t.R)
+		if isTrue(r) || isTrue(l) {
+			return True{}
+		}
+		if isFalse(r) {
+			return Simplify(Historically{F: l})
+		}
+		if isFalse(l) {
+			return r
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Back{L: l, R: r}
+	case Once:
+		x := Simplify(t.F)
+		if isTrue(x) || isFalse(x) {
+			return x
+		}
+		if inner, ok := x.(Once); ok {
+			return inner
+		}
+		return Once{F: x}
+	case Historically:
+		x := Simplify(t.F)
+		if isTrue(x) || isFalse(x) {
+			return x
+		}
+		if inner, ok := x.(Historically); ok {
+			return inner
+		}
+		return Historically{F: x}
+	default:
+		return f
+	}
+}
+
+func isTrue(f Formula) bool {
+	_, ok := f.(True)
+	return ok
+}
+
+func isFalse(f Formula) bool {
+	_, ok := f.(False)
+	return ok
+}

@@ -1,0 +1,190 @@
+package mc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+	"repro/internal/word"
+)
+
+// TestVerifyAgainstBruteForce is an independent completeness check for
+// the fair-emptiness search: on tiny random systems it enumerates every
+// lasso-shaped computation (bounded prefix and loop), keeps the fair
+// ones, and compares "some fair lasso violates f" against Verify's
+// verdict. Soundness of counterexamples is checked elsewhere; this guards
+// the other direction — Verify must not claim a property that some fair
+// computation violates.
+func TestVerifyAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	formulas := []ltl.Formula{
+		ltl.MustParse("G p"),
+		ltl.MustParse("F p"),
+		ltl.MustParse("G F p"),
+		ltl.MustParse("F G p"),
+		ltl.MustParse("G (p -> F q)"),
+		ltl.MustParse("G p | F q"),
+	}
+	for iter := 0; iter < 20; iter++ {
+		sys := tinySystem(t, rng)
+		lassos := fairLassos(sys, 3, 3)
+		if len(lassos) == 0 {
+			continue
+		}
+		for _, f := range formulas {
+			res, err := mc.Verify(sys, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			violated := false
+			var witness word.Lasso
+			for _, tr := range lassos {
+				w := lassoWord(sys, tr, ltl.Props(f))
+				ok, err := eval.Holds(f, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					violated = true
+					witness = w
+					break
+				}
+			}
+			if res.Holds && violated {
+				t.Fatalf("iter %d: Verify claims %v but fair lasso %v violates it\nsystem states: %d",
+					iter, f, witness, sys.NumStates())
+			}
+			// The converse need not hold at this bound (a counterexample
+			// may need a longer lasso), so it is not checked.
+		}
+	}
+}
+
+func tinySystem(t *testing.T, rng *rand.Rand) *ts.System {
+	t.Helper()
+	b := ts.NewBuilder()
+	n := 2 + rng.Intn(2)
+	states := make([]int, n)
+	for i := 0; i < n; i++ {
+		var props []string
+		if rng.Intn(2) == 0 {
+			props = append(props, "p")
+		}
+		if rng.Intn(2) == 0 {
+			props = append(props, "q")
+		}
+		states[i] = b.State(string(rune('A'+i)), props...)
+	}
+	fairs := []ts.Fairness{ts.Unfair, ts.Weak, ts.Strong}
+	for ti := 0; ti < 2; ti++ {
+		tr := b.Transition("t"+string(rune('0'+ti)), fairs[rng.Intn(3)])
+		for e := 0; e < 1+rng.Intn(3); e++ {
+			tr.Step(states[rng.Intn(n)], states[rng.Intn(n)])
+		}
+	}
+	b.SetInit(states[0])
+	b.AddIdle()
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// fairLassos enumerates computations prefix·loop^ω with |prefix| ≤ maxPre
+// and 1 ≤ |loop| ≤ maxLoop that are valid (every step taken by some
+// transition) and fair. A lasso is fair iff for every weakly fair
+// transition enabled at all loop states some loop step could be that
+// transition, and for every strongly fair transition enabled at some loop
+// state likewise. (Steps are attributed generously: a step counts for a
+// transition if the transition allows it — resolving nondeterministic
+// attribution in favour of fairness, which only ever widens the set of
+// fair lassos and keeps the oracle conservative for the direction
+// checked.)
+func fairLassos(sys *ts.System, maxPre, maxLoop int) []mc.Trace {
+	var out []mc.Trace
+	var paths func(prefix []int, budget int, emit func([]int))
+	paths = func(prefix []int, budget int, emit func([]int)) {
+		emit(prefix)
+		if budget == 0 {
+			return
+		}
+		last := prefix[len(prefix)-1]
+		for _, next := range sys.AllSuccessors(last) {
+			paths(append(append([]int{}, prefix...), next), budget-1, emit)
+		}
+	}
+	steps := func(from, to int) []*ts.Transition {
+		var hits []*ts.Transition
+		for _, tr := range sys.Transitions() {
+			for _, s := range tr.Successors(from) {
+				if s == to {
+					hits = append(hits, tr)
+					break
+				}
+			}
+		}
+		return hits
+	}
+	for _, init := range sys.Init() {
+		paths([]int{init}, maxPre, func(pre []int) {
+			anchor := pre[len(pre)-1]
+			paths([]int{anchor}, maxLoop, func(cycle []int) {
+				if len(cycle) < 2 {
+					return
+				}
+				// Close the loop: last must step back to anchor.
+				loop := cycle[1:]
+				if len(steps(loop[len(loop)-1], anchor)) == 0 && loop[len(loop)-1] != anchor {
+					return
+				}
+				// Loop body: anchor → loop[0] → … → loop[end] → anchor.
+				seq := append([]int{anchor}, loop...)
+				closed := append(append([]int{}, seq...), anchor)
+				// Transitions possibly taken inside the loop.
+				taken := map[*ts.Transition]bool{}
+				for i := 0; i+1 < len(closed); i++ {
+					for _, tr := range steps(closed[i], closed[i+1]) {
+						taken[tr] = true
+					}
+				}
+				for _, tr := range sys.Transitions() {
+					enabledAll, enabledSome := true, false
+					for _, s := range seq {
+						if tr.Enabled(s) {
+							enabledSome = true
+						} else {
+							enabledAll = false
+						}
+					}
+					switch tr.Fair {
+					case ts.Weak:
+						if enabledAll && !taken[tr] {
+							return
+						}
+					case ts.Strong:
+						if enabledSome && !taken[tr] {
+							return
+						}
+					}
+				}
+				out = append(out, mc.Trace{Prefix: pre[:len(pre)-1], Loop: seq})
+			})
+		})
+	}
+	return out
+}
+
+func lassoWord(sys *ts.System, tr mc.Trace, props []string) word.Lasso {
+	var u, v word.Finite
+	for _, s := range tr.Prefix {
+		u = append(u, sys.Symbol(s, props))
+	}
+	for _, s := range tr.Loop {
+		v = append(v, sys.Symbol(s, props))
+	}
+	return word.MustLasso(u, v)
+}

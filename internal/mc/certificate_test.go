@@ -1,0 +1,113 @@
+package mc_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+)
+
+// TestPetersonCertificate synthesizes and validates the chain-rule
+// certificate for Peterson's accessibility — the paper's point that
+// liveness proofs are explicit well-founded inductions, made executable.
+func TestPetersonCertificate(t *testing.T) {
+	sys, err := ts.Peterson()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trigger := ltl.MustParse("w1")
+	goal := ltl.MustParse("c1")
+	cert, err := mc.SynthesizeResponse(sys, trigger, goal)
+	if err != nil {
+		t.Fatalf("Peterson accessibility should be provable with justice: %v", err)
+	}
+	if err := cert.Validate(sys, trigger, goal); err != nil {
+		t.Fatalf("synthesized certificate does not validate: %v", err)
+	}
+	// And of course the property model-checks.
+	res, err := mc.Verify(sys, ltl.MustParse("G (w1 -> F c1)"))
+	if err != nil || !res.Holds {
+		t.Fatal("sanity: the property must hold")
+	}
+}
+
+// TestSemaphoreNeedsCompassion shows the rule separating the fairness
+// notions: under strong fairness the property HOLDS, but the justice
+// chain rule cannot prove it — compassion is genuinely needed.
+func TestSemaphoreNeedsCompassion(t *testing.T) {
+	strong, err := ts.Semaphore(ts.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Verify(strong, ltl.MustParse("G (w1 -> F c1)"))
+	if err != nil || !res.Holds {
+		t.Fatal("sanity: accessibility holds under compassion")
+	}
+	_, err = mc.SynthesizeResponse(strong, ltl.MustParse("w1"), ltl.MustParse("c1"))
+	if !errors.Is(err, mc.ErrNeedsCompassion) {
+		t.Errorf("justice rule should fail on the semaphore, got %v", err)
+	}
+}
+
+// TestStarvingSystemHasNoCertificate: when the property is false, no
+// certificate can exist either.
+func TestStarvingSystemHasNoCertificate(t *testing.T) {
+	weak, err := ts.Semaphore(ts.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.SynthesizeResponse(weak, ltl.MustParse("w1"), ltl.MustParse("c1")); err == nil {
+		t.Error("no certificate should exist for a starving system")
+	}
+}
+
+// TestCertificateValidationCatchesTampering corrupts a valid certificate
+// and expects Validate to notice.
+func TestCertificateValidationCatchesTampering(t *testing.T) {
+	sys, err := ts.Peterson()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trigger := ltl.MustParse("w1")
+	goal := ltl.MustParse("c1")
+	cert, err := mc.SynthesizeResponse(sys, trigger, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a pending state and inflate its rank.
+	for s := range cert.Rank {
+		if cert.Rank[s] >= 0 {
+			cert.Rank[s] += 1000
+			break
+		}
+	}
+	if err := cert.Validate(sys, trigger, goal); err == nil {
+		t.Error("tampered certificate should fail validation")
+	}
+
+	// Wrong shape.
+	bad := mc.ResponseCertificate{Rank: []int{0}, Helpful: []int{0}}
+	if err := bad.Validate(sys, trigger, goal); err == nil {
+		t.Error("mis-sized certificate should fail validation")
+	}
+}
+
+// TestCertificateLinearProgram checks ranks on the straight-line program:
+// the chain has exactly the path length.
+func TestCertificateLinearProgram(t *testing.T) {
+	sys := terminatingProgram(t)
+	trigger := ltl.MustParse("start")
+	goal := ltl.MustParse("done")
+	cert, err := mc.SynthesizeResponse(sys, trigger, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Validate(sys, trigger, goal); err != nil {
+		t.Fatal(err)
+	}
+	if cert.Rank[sys.StateIndex("s1")] >= cert.Rank[sys.StateIndex("s3")] {
+		t.Errorf("ranks should decrease toward the goal: %v", cert.Rank)
+	}
+}

@@ -1,0 +1,149 @@
+package mc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+	"repro/internal/word"
+)
+
+// traceWord converts a counterexample trace into the lasso word of
+// valuation symbols the property automaton reads.
+func traceWord(sys *ts.System, tr *mc.Trace, props []string) word.Lasso {
+	var u, v word.Finite
+	for _, s := range tr.Prefix {
+		u = append(u, sys.Symbol(s, props))
+	}
+	for _, s := range tr.Loop {
+		v = append(v, sys.Symbol(s, props))
+	}
+	return word.MustLasso(u, v)
+}
+
+// TestCounterexamplesViolateFormula replays every counterexample through
+// the independent lasso evaluator: the trace must actually falsify the
+// property. This closes the loop between the model checker, the
+// formula→automaton compiler, and the semantics.
+func TestCounterexamplesViolateFormula(t *testing.T) {
+	systems := map[string]func() (*ts.System, error){
+		"trivial":  ts.TrivialMutex,
+		"semWeak":  func() (*ts.System, error) { return ts.Semaphore(ts.Weak) },
+		"peterson": ts.Peterson,
+	}
+	formulas := []string{
+		"G (w1 -> F c1)",
+		"G !w1",
+		"F c1",
+		"G F n1",
+		"F G n1",
+		"G (w1 -> F c1) & G (w2 -> F c2)",
+	}
+	for name, build := range systems {
+		sys, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fstr := range formulas {
+			f := ltl.MustParse(fstr)
+			res, err := mc.Verify(sys, f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, fstr, err)
+			}
+			if res.Holds {
+				continue
+			}
+			w := traceWord(sys, res.Counterexample, ltl.Props(f))
+			ok, err := eval.Holds(f, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Errorf("%s: counterexample for %s satisfies the formula: %v", name, fstr, w)
+			}
+		}
+	}
+}
+
+// TestVerifyAgainstSemanticConsistency checks on random small systems
+// that Verify never claims both f and a formula its counterexample
+// refutes; and that properties proved to hold are satisfied by an
+// arbitrary fair computation of the system.
+func TestVerifyAgainstSemanticConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	formulas := []string{
+		"G p", "F p", "G F p", "F G p", "G (p -> F q)", "G p | F q",
+	}
+	for iter := 0; iter < 30; iter++ {
+		sys := randomSystem(t, rng)
+		tr, ok := mc.FairComputation(sys)
+		if !ok {
+			t.Fatal("system should have a fair computation")
+		}
+		w := traceWord(sys, &tr, []string{"p", "q"})
+		for _, fstr := range formulas {
+			f := ltl.MustParse(fstr)
+			res, err := mc.Verify(sys, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			holdsOnSample, err := eval.Holds(f, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Holds && !holdsOnSample {
+				t.Fatalf("iter %d: Verify says %s holds but the fair computation %v violates it",
+					iter, fstr, w)
+			}
+			if !res.Holds {
+				cw := traceWord(sys, res.Counterexample, ltl.Props(f))
+				bad, err := eval.Holds(f, cw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bad {
+					t.Fatalf("iter %d: counterexample for %s is not one: %v", iter, fstr, cw)
+				}
+			}
+		}
+	}
+}
+
+// randomSystem builds a small random deadlock-free system over props p,q
+// with a mix of fairness levels.
+func randomSystem(t *testing.T, rng *rand.Rand) *ts.System {
+	t.Helper()
+	b := ts.NewBuilder()
+	n := 3 + rng.Intn(3)
+	states := make([]int, n)
+	for i := 0; i < n; i++ {
+		var props []string
+		if rng.Intn(2) == 0 {
+			props = append(props, "p")
+		}
+		if rng.Intn(2) == 0 {
+			props = append(props, "q")
+		}
+		states[i] = b.State(stateName(i), props...)
+	}
+	fairs := []ts.Fairness{ts.Unfair, ts.Weak, ts.Strong}
+	for ti := 0; ti < 2+rng.Intn(2); ti++ {
+		tr := b.Transition(transName(ti), fairs[rng.Intn(len(fairs))])
+		for e := 0; e < 1+rng.Intn(4); e++ {
+			tr.Step(states[rng.Intn(n)], states[rng.Intn(n)])
+		}
+	}
+	b.SetInit(states[0])
+	b.AddIdle()
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func stateName(i int) string { return string(rune('A' + i)) }
+func transName(i int) string { return "t" + string(rune('0'+i)) }

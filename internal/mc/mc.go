@@ -1,0 +1,526 @@
+// Package mc is the model checker connecting the paper's two halves: it
+// decides whether every fair computation of a transition system has a
+// temporal property, by intersecting the system with an automaton for the
+// negated property and searching the product for a fair accepting cycle
+// (a counterexample computation).
+//
+// Alongside the automata-based checker, the package exposes the two proof
+// principles the paper associates with the hierarchy: the invariance
+// (implicit-induction) rule for safety and a well-founded-ranking
+// extraction for guarantee/response properties.
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/ltl"
+	"repro/internal/omega"
+	"repro/internal/ts"
+)
+
+// Trace is a lasso-shaped computation of the system: the states of the
+// transient prefix followed by the repeating loop.
+type Trace struct {
+	Prefix []int
+	Loop   []int
+}
+
+// Names renders the trace with state names.
+func (t Trace) Names(sys *ts.System) (prefix, loop []string) {
+	for _, s := range t.Prefix {
+		prefix = append(prefix, sys.StateName(s))
+	}
+	for _, s := range t.Loop {
+		loop = append(loop, sys.StateName(s))
+	}
+	return prefix, loop
+}
+
+// Result reports a verification outcome. When the property fails,
+// Counterexample is a fair computation violating it.
+type Result struct {
+	Holds          bool
+	Counterexample *Trace
+}
+
+// Verify decides sys ⊨ f: every fair computation of the system satisfies
+// the formula. The negation is compiled to a deterministic Streett
+// automaton (falling back to single-pair complementation of the positive
+// automaton when ¬f is outside the normalizable fragment), and the fair
+// product is checked for emptiness.
+func Verify(sys *ts.System, f ltl.Formula) (Result, error) {
+	props := unionProps(sys, f)
+	neg, err := negationAutomaton(f, props)
+	if err != nil {
+		return Result{}, err
+	}
+	trace, found, err := searchFairAccepting(sys, neg, props)
+	if err != nil {
+		return Result{}, err
+	}
+	if found {
+		return Result{Holds: false, Counterexample: &trace}, nil
+	}
+	return Result{Holds: true}, nil
+}
+
+// FairComputation returns some fair computation of the system (every
+// system with a reachable fair cycle has one; AddIdle guarantees it).
+func FairComputation(sys *ts.System) (Trace, bool) {
+	props := sys.Props()
+	alpha, err := alphabet.Valuations(props)
+	if err != nil {
+		return Trace{}, false
+	}
+	tr, ok, err := searchFairAccepting(sys, omega.Universal(alpha), props)
+	if err != nil {
+		return Trace{}, false
+	}
+	return tr, ok
+}
+
+func unionProps(sys *ts.System, f ltl.Formula) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range ltl.Props(f) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// negationAutomaton builds an automaton for ¬f over 2^props.
+func negationAutomaton(f ltl.Formula, props []string) (*omega.Automaton, error) {
+	neg, errNeg := core.CompileFormula(ltl.Not{F: f}, props)
+	if errNeg == nil {
+		return neg, nil
+	}
+	pos, errPos := core.CompileFormula(f, props)
+	if errPos != nil {
+		return nil, fmt.Errorf("mc: cannot compile ¬f (%v) nor f (%v)", errNeg, errPos)
+	}
+	comp, err := pos.ComplementSinglePair()
+	if err != nil {
+		return nil, fmt.Errorf("mc: ¬f not normalizable (%v) and f's automaton is multi-pair (%v)", errNeg, err)
+	}
+	return comp, nil
+}
+
+// prodEdge is an edge of the fair product graph.
+type prodEdge struct {
+	to    int
+	trans int // index into sys.Transitions()
+}
+
+// product is the synchronous product of the system and a property
+// automaton: node = (system state, automaton state after reading it).
+type product struct {
+	sys    *ts.System
+	aut    *omega.Automaton
+	props  []string
+	nodes  []prodNode
+	index  map[prodNode]int
+	edges  [][]prodEdge
+	inits  []int
+	autSym []alphabet.Symbol // per system state, its input symbol
+}
+
+type prodNode struct{ s, q int }
+
+func buildProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product, error) {
+	p := &product{sys: sys, aut: aut, props: props, index: map[prodNode]int{}}
+	p.autSym = make([]alphabet.Symbol, sys.NumStates())
+	for s := 0; s < sys.NumStates(); s++ {
+		p.autSym[s] = sys.Symbol(s, props)
+		if aut.Alphabet().Index(p.autSym[s]) < 0 {
+			return nil, fmt.Errorf("mc: state %q symbol %q not in property alphabet", sys.StateName(s), p.autSym[s])
+		}
+	}
+	get := func(n prodNode) int {
+		if i, ok := p.index[n]; ok {
+			return i
+		}
+		i := len(p.nodes)
+		p.index[n] = i
+		p.nodes = append(p.nodes, n)
+		p.edges = append(p.edges, nil)
+		return i
+	}
+	for _, s0 := range sys.Init() {
+		q0 := aut.Step(aut.Start(), p.autSym[s0])
+		p.inits = append(p.inits, get(prodNode{s0, q0}))
+	}
+	for i := 0; i < len(p.nodes); i++ {
+		n := p.nodes[i]
+		for ti, tr := range sys.Transitions() {
+			for _, s2 := range tr.Successors(n.s) {
+				q2 := aut.Step(n.q, p.autSym[s2])
+				j := get(prodNode{s2, q2})
+				p.edges[i] = append(p.edges[i], prodEdge{to: j, trans: ti})
+			}
+		}
+	}
+	return p, nil
+}
+
+// searchFairAccepting looks for a fair computation of sys accepted by the
+// automaton, returning it as a trace of system states.
+func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (Trace, bool, error) {
+	p, err := buildProduct(sys, aut, props)
+	if err != nil {
+		return Trace{}, false, err
+	}
+	allowed := make([]bool, len(p.nodes))
+	for i := range allowed {
+		allowed[i] = true
+	}
+	comp, need := p.findFairAcceptingSCC(allowed)
+	if comp == nil {
+		return Trace{}, false, nil
+	}
+	tr, ok := p.extractTrace(comp, need)
+	return tr, ok, nil
+}
+
+// findFairAcceptingSCC searches for a strongly connected node set C such
+// that (i) a run with inf = C satisfies the automaton's Streett pairs,
+// (ii) every weakly fair transition is either disabled somewhere in C or
+// taken by an edge inside C, and (iii) every strongly fair transition is
+// either enabled nowhere in C or taken inside C. It returns the set and
+// the transition indices whose edges the witness loop must include.
+func (p *product) findFairAcceptingSCC(allowed []bool) ([]int, []int) {
+	for _, comp := range p.sccs(allowed) {
+		if !p.cyclic(comp) {
+			continue
+		}
+		if set, need := p.refine(comp); set != nil {
+			return set, need
+		}
+	}
+	return nil, nil
+}
+
+func (p *product) refine(comp []int) ([]int, []int) {
+	inComp := make(map[int]bool, len(comp))
+	for _, n := range comp {
+		inComp[n] = true
+	}
+	takenInside := map[int]bool{} // transition index → has edge inside comp
+	for _, n := range comp {
+		for _, e := range p.edges[n] {
+			if inComp[e.to] {
+				takenInside[e.trans] = true
+			}
+		}
+	}
+
+	restrict := make([]bool, len(p.nodes))
+	for _, n := range comp {
+		restrict[n] = true
+	}
+	narrowed := false
+	var needEdges []int
+
+	// Streett pairs of the automaton component.
+	for i := 0; i < p.aut.NumPairs(); i++ {
+		r, pr := p.aut.PairVectors(i)
+		meetsR, inP := false, true
+		for _, n := range comp {
+			q := p.nodes[n].q
+			if r[q] {
+				meetsR = true
+			}
+			if !pr[q] {
+				inP = false
+			}
+		}
+		if !meetsR && !inP {
+			for _, n := range comp {
+				if !pr[p.nodes[n].q] {
+					restrict[n] = false
+					narrowed = true
+				}
+			}
+		}
+	}
+
+	// Fairness requirements.
+	for ti, tr := range p.sys.Transitions() {
+		if tr.Fair == ts.Unfair || takenInside[ti] {
+			continue
+		}
+		enabledSomewhere, enabledEverywhere := false, true
+		for _, n := range comp {
+			if tr.Enabled(p.nodes[n].s) {
+				enabledSomewhere = true
+			} else {
+				enabledEverywhere = false
+			}
+		}
+		switch tr.Fair {
+		case ts.Weak:
+			if enabledEverywhere {
+				// Continuously enabled, never taken, and no sub-component
+				// can disable it: this component is hopeless.
+				return nil, nil
+			}
+		case ts.Strong:
+			if enabledSomewhere {
+				// Restrict to nodes where the transition is disabled.
+				for _, n := range comp {
+					if tr.Enabled(p.nodes[n].s) {
+						restrict[n] = false
+						narrowed = true
+					}
+				}
+			}
+		}
+	}
+
+	if !narrowed {
+		// comp satisfies everything; the witness loop must include one
+		// edge of every fair transition enabled within comp.
+		for ti, tr := range p.sys.Transitions() {
+			if tr.Fair == ts.Unfair {
+				continue
+			}
+			enabled := false
+			for _, n := range comp {
+				if tr.Enabled(p.nodes[n].s) {
+					enabled = true
+					break
+				}
+			}
+			if enabled && takenInside[ti] {
+				needEdges = append(needEdges, ti)
+			}
+		}
+		return comp, needEdges
+	}
+	count := 0
+	for _, ok := range restrict {
+		if ok {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	return p.findFairAcceptingSCC(restrict)
+}
+
+// sccs computes strongly connected components of the product restricted
+// to allowed nodes (iterative Tarjan).
+func (p *product) sccs(allowed []bool) [][]int {
+	n := len(p.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+	type frame struct{ node, edge int }
+	for root := 0; root < n; root++ {
+		if !allowed[root] || index[root] >= 0 {
+			continue
+		}
+		var call []frame
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		call = append(call, frame{node: root})
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			q := f.node
+			if f.edge < len(p.edges[q]) {
+				to := p.edges[q][f.edge].to
+				f.edge++
+				if !allowed[to] {
+					continue
+				}
+				if index[to] < 0 {
+					index[to], low[to] = counter, counter
+					counter++
+					stack = append(stack, to)
+					onStack[to] = true
+					call = append(call, frame{node: to})
+				} else if onStack[to] && index[to] < low[q] {
+					low[q] = index[to]
+				}
+				continue
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].node
+				if low[q] < low[parent] {
+					low[parent] = low[q]
+				}
+			}
+			if low[q] == index[q] {
+				var comp []int
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					comp = append(comp, m)
+					if m == q {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+func (p *product) cyclic(comp []int) bool {
+	in := make(map[int]bool, len(comp))
+	for _, n := range comp {
+		in[n] = true
+	}
+	for _, n := range comp {
+		for _, e := range p.edges[n] {
+			if in[e.to] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// extractTrace builds a lasso of system states: a path from an initial
+// node to the component, then a loop covering every node of the component
+// and at least one edge of every needed transition.
+func (p *product) extractTrace(comp []int, needTrans []int) (Trace, bool) {
+	inComp := make(map[int]bool, len(comp))
+	for _, n := range comp {
+		inComp[n] = true
+	}
+	anchor := comp[0]
+	prefixNodes, ok := p.shortestPath(p.inits, anchor, nil)
+	if !ok {
+		return Trace{}, false
+	}
+	// Build the loop: visit every node of comp, then traverse one edge of
+	// each needed transition, then return to the anchor.
+	var loop []int
+	cur := anchor
+	visit := func(target int) bool {
+		seg, ok := p.shortestPath([]int{cur}, target, inComp)
+		if !ok {
+			return false
+		}
+		loop = append(loop, seg[1:]...) // drop the duplicated start node
+		cur = target
+		return true
+	}
+	for _, n := range comp {
+		if !visit(n) {
+			return Trace{}, false
+		}
+	}
+	for _, ti := range needTrans {
+		// Find an edge of transition ti inside comp and route through it.
+		found := false
+		for _, from := range comp {
+			for _, e := range p.edges[from] {
+				if e.trans == ti && inComp[e.to] {
+					if !visit(from) {
+						return Trace{}, false
+					}
+					loop = append(loop, e.to)
+					cur = e.to
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return Trace{}, false
+		}
+	}
+	if !visit(anchor) {
+		return Trace{}, false
+	}
+	if len(loop) == 0 {
+		// Singleton component with a self-loop.
+		selfLoop := false
+		for _, e := range p.edges[anchor] {
+			if e.to == anchor {
+				selfLoop = true
+				break
+			}
+		}
+		if !selfLoop {
+			return Trace{}, false
+		}
+		loop = []int{anchor}
+	}
+	tr := Trace{}
+	for _, n := range prefixNodes {
+		tr.Prefix = append(tr.Prefix, p.nodes[n].s)
+	}
+	for _, n := range loop {
+		tr.Loop = append(tr.Loop, p.nodes[n].s)
+	}
+	return tr, true
+}
+
+// shortestPath returns a node path (inclusive of endpoints) from any of
+// the sources to the target, staying within `within` when non-nil.
+func (p *product) shortestPath(sources []int, target int, within map[int]bool) ([]int, bool) {
+	prev := map[int]int{}
+	seen := map[int]bool{}
+	var queue []int
+	for _, s := range sources {
+		if within != nil && !within[s] {
+			continue
+		}
+		if !seen[s] {
+			seen[s] = true
+			prev[s] = -1
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == target {
+			var rev []int
+			for cur := n; cur != -1; cur = prev[cur] {
+				rev = append(rev, cur)
+			}
+			out := make([]int, len(rev))
+			for i := range rev {
+				out[i] = rev[len(rev)-1-i]
+			}
+			return out, true
+		}
+		for _, e := range p.edges[n] {
+			if within != nil && !within[e.to] {
+				continue
+			}
+			if !seen[e.to] {
+				seen[e.to] = true
+				prev[e.to] = n
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,128 @@
+package mc_test
+
+import (
+	"testing"
+
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+)
+
+// The dining philosophers separate three specification strengths:
+//   - neighbour exclusion (safety) holds in every variant;
+//   - deadlock-freedom (global progress) needs the asymmetric protocol;
+//   - starvation-freedom (individual accessibility) additionally needs
+//     strong fairness on the pickup transitions.
+func TestPhilosophersSafetyEverywhere(t *testing.T) {
+	for _, sym := range []bool{true, false} {
+		for _, fair := range []ts.Fairness{ts.Weak, ts.Strong} {
+			sys, err := ts.DiningPhilosophers(3, sym, fair)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range []string{"G !(e0 & e1)", "G !(e1 & e2)", "G !(e2 & e0)"} {
+				res, err := mc.Verify(sys, ltl.MustParse(f))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Holds {
+					t.Errorf("sym=%v fair=%v: %s violated", sym, fair, f)
+				}
+			}
+		}
+	}
+}
+
+func TestPhilosophersDeadlock(t *testing.T) {
+	progress := ltl.MustParse("G F (e0 | e1 | e2) | F G (t0 & t1 & t2)")
+
+	// Symmetric: the all-hold-left configuration deadlocks; even strong
+	// fairness cannot help because nothing is enabled there.
+	sym, err := ts.DiningPhilosophers(3, true, ts.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Verify(sym, progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("symmetric philosophers should be able to deadlock")
+	} else {
+		// The deadlock witness must end in the all-holding state "lll".
+		loopAllL := true
+		for _, s := range res.Counterexample.Loop {
+			if sym.StateName(s) != "lll" {
+				loopAllL = false
+			}
+		}
+		if !loopAllL {
+			pre, loop := res.Counterexample.Names(sym)
+			t.Errorf("expected the lll deadlock, got %v (%v)^ω", pre, loop)
+		}
+	}
+
+	// Asymmetric: deadlock-free already under weak fairness.
+	asym, err := ts.DiningPhilosophers(3, false, ts.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = mc.Verify(asym, progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("asymmetric philosophers should be deadlock-free")
+	}
+}
+
+func TestPhilosophersStarvation(t *testing.T) {
+	access := ltl.MustParse("G (h0 -> F e0)")
+
+	// Asymmetric + weak fairness: philosopher 0 can starve (neighbours
+	// conspire).
+	weak, err := ts.DiningPhilosophers(3, false, ts.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Verify(weak, access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("weak fairness should admit starvation")
+	}
+
+	// Asymmetric + strong fairness: everyone eventually eats.
+	strong, err := ts.DiningPhilosophers(3, false, ts.Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"G (h0 -> F e0)", "G (h1 -> F e1)", "G (h2 -> F e2)"} {
+		res, err := mc.Verify(strong, ltl.MustParse(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds {
+			t.Errorf("strong fairness should guarantee %s", f)
+		}
+	}
+}
+
+func TestPhilosophersSizes(t *testing.T) {
+	if _, err := ts.DiningPhilosophers(1, true, ts.Weak); err == nil {
+		t.Error("n=1 should be rejected")
+	}
+	if _, err := ts.DiningPhilosophers(6, true, ts.Weak); err == nil {
+		t.Error("n=6 should be rejected")
+	}
+	for n := 2; n <= 4; n++ {
+		sys, err := ts.DiningPhilosophers(n, false, ts.Strong)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if sys.NumStates() == 0 {
+			t.Fatalf("n=%d: empty system", n)
+		}
+	}
+}

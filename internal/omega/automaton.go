@@ -1,0 +1,300 @@
+// Package omega implements the paper's predicate automata (§5): complete
+// deterministic automata over infinite words with a Streett acceptance
+// list L = (R_1,P_1),...,(R_k,P_k). A run r is accepting iff for every
+// pair, inf(r) ∩ R_i ≠ ∅ or inf(r) ⊆ P_i.
+//
+// The package provides runs and acceptance over lasso words, synchronous
+// products, Streett emptiness with witness extraction, SCC analysis and
+// the accessible-cycle machinery on which the classification procedures of
+// §5.1 (package core) are built.
+package omega
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/word"
+)
+
+// Pair is one Streett acceptance pair (R, P), each a per-state membership
+// vector.
+type Pair struct {
+	R []bool
+	P []bool
+}
+
+// Automaton is a complete deterministic Streett predicate automaton.
+type Automaton struct {
+	alpha  *alphabet.Alphabet
+	trans  [][]int
+	start  int
+	pairs  []Pair
+	labels []string // optional human-readable state labels
+}
+
+// New builds and validates an automaton. Every pair's vectors must cover
+// all states; transitions must be total.
+func New(alpha *alphabet.Alphabet, trans [][]int, start int, pairs []Pair) (*Automaton, error) {
+	n := len(trans)
+	if n == 0 {
+		return nil, fmt.Errorf("omega: need at least one state")
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("omega: start state %d out of range", start)
+	}
+	k := alpha.Size()
+	for q, row := range trans {
+		if len(row) != k {
+			return nil, fmt.Errorf("omega: state %d has %d transitions for %d symbols", q, len(row), k)
+		}
+		for i, next := range row {
+			if next < 0 || next >= n {
+				return nil, fmt.Errorf("omega: transition (%d,%s) -> %d out of range", q, alpha.Symbol(i), next)
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("omega: need at least one acceptance pair")
+	}
+	for i, p := range pairs {
+		if len(p.R) != n || len(p.P) != n {
+			return nil, fmt.Errorf("omega: pair %d vectors don't cover %d states", i, n)
+		}
+	}
+	a := &Automaton{alpha: alpha, trans: make([][]int, n), start: start, pairs: make([]Pair, len(pairs))}
+	for q := range trans {
+		a.trans[q] = append([]int(nil), trans[q]...)
+	}
+	for i, p := range pairs {
+		a.pairs[i] = Pair{R: append([]bool(nil), p.R...), P: append([]bool(nil), p.P...)}
+	}
+	return a, nil
+}
+
+// MustNew is New but panics on error; for fixtures.
+func MustNew(alpha *alphabet.Alphabet, trans [][]int, start int, pairs []Pair) *Automaton {
+	a, err := New(alpha, trans, start, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Alphabet returns the automaton's alphabet.
+func (a *Automaton) Alphabet() *alphabet.Alphabet { return a.alpha }
+
+// NumStates returns the number of states.
+func (a *Automaton) NumStates() int { return len(a.trans) }
+
+// Start returns the initial state.
+func (a *Automaton) Start() int { return a.start }
+
+// NumPairs returns the number of Streett pairs.
+func (a *Automaton) NumPairs() int { return len(a.pairs) }
+
+// Pairs returns a deep copy of the acceptance list.
+func (a *Automaton) Pairs() []Pair {
+	out := make([]Pair, len(a.pairs))
+	for i, p := range a.pairs {
+		out[i] = Pair{R: append([]bool(nil), p.R...), P: append([]bool(nil), p.P...)}
+	}
+	return out
+}
+
+// SetLabels attaches human-readable state labels (diagnostics only).
+func (a *Automaton) SetLabels(labels []string) {
+	a.labels = append([]string(nil), labels...)
+}
+
+// Label returns the label of state q (its number if unlabeled).
+func (a *Automaton) Label(q int) string {
+	if q < len(a.labels) && a.labels[q] != "" {
+		return a.labels[q]
+	}
+	return fmt.Sprintf("q%d", q)
+}
+
+// Step returns δ(q, s), or -1 for foreign symbols.
+func (a *Automaton) Step(q int, s alphabet.Symbol) int {
+	i := a.alpha.Index(s)
+	if i < 0 {
+		return -1
+	}
+	return a.trans[q][i]
+}
+
+// StepIndex returns δ(q, symbol #i).
+func (a *Automaton) StepIndex(q, i int) int { return a.trans[q][i] }
+
+// RunPrefix returns the state reached after reading the finite word, or an
+// error on foreign symbols.
+func (a *Automaton) RunPrefix(w word.Finite) (int, error) {
+	q := a.start
+	for _, s := range w {
+		q = a.Step(q, s)
+		if q < 0 {
+			return 0, fmt.Errorf("omega: symbol %q not in alphabet %v", s, a.alpha)
+		}
+	}
+	return q, nil
+}
+
+// InfinitySet returns inf(r) for the unique run over the lasso word: the
+// set of states visited infinitely often, as a sorted slice.
+func (a *Automaton) InfinitySet(w word.Lasso) ([]int, error) {
+	q, err := a.RunPrefix(w.PrefixPart())
+	if err != nil {
+		return nil, err
+	}
+	v := w.LoopPart()
+	// Iterate whole-loop applications until the entry state repeats.
+	seenAt := map[int]int{}
+	var entries []int
+	cur := q
+	for {
+		if _, ok := seenAt[cur]; ok {
+			break
+		}
+		seenAt[cur] = len(entries)
+		entries = append(entries, cur)
+		for _, s := range v {
+			cur = a.Step(cur, s)
+			if cur < 0 {
+				return nil, fmt.Errorf("omega: symbol not in alphabet")
+			}
+		}
+	}
+	// The cycle runs from entries[seenAt[cur]] back to cur. Collect every
+	// state visited while reading v around the cycle.
+	inf := map[int]bool{}
+	for i := seenAt[cur]; i < len(entries); i++ {
+		s := entries[i]
+		for _, sym := range v {
+			inf[s] = true
+			s = a.Step(s, sym)
+		}
+	}
+	out := make([]int, 0, len(inf))
+	for s := range inf {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// AcceptsSet reports whether a run with the given infinity set is
+// accepting under the Streett list.
+func (a *Automaton) AcceptsSet(inf []int) bool {
+	for _, p := range a.pairs {
+		meetsR := false
+		inP := true
+		for _, q := range inf {
+			if p.R[q] {
+				meetsR = true
+			}
+			if !p.P[q] {
+				inP = false
+			}
+		}
+		if !meetsR && !inP {
+			return false
+		}
+	}
+	return true
+}
+
+// Accepts reports whether the automaton accepts the lasso word.
+func (a *Automaton) Accepts(w word.Lasso) (bool, error) {
+	inf, err := a.InfinitySet(w)
+	if err != nil {
+		return false, err
+	}
+	return a.AcceptsSet(inf), nil
+}
+
+// AcceptsOrFalse is Accepts treating errors (foreign symbols) as rejection.
+func (a *Automaton) AcceptsOrFalse(w word.Lasso) bool {
+	ok, err := a.Accepts(w)
+	return err == nil && ok
+}
+
+// Reachable returns the set of states reachable from start.
+func (a *Automaton) Reachable() []bool {
+	seen := make([]bool, len(a.trans))
+	seen[a.start] = true
+	stack := []int{a.start}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range a.trans[q] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// Trim returns an equivalent automaton over only the reachable states.
+func (a *Automaton) Trim() *Automaton {
+	seen := a.Reachable()
+	remap := make([]int, len(a.trans))
+	n := 0
+	for q, ok := range seen {
+		if ok {
+			remap[q] = n
+			n++
+		} else {
+			remap[q] = -1
+		}
+	}
+	trans := make([][]int, n)
+	pairs := make([]Pair, len(a.pairs))
+	for i := range pairs {
+		pairs[i] = Pair{R: make([]bool, n), P: make([]bool, n)}
+	}
+	labels := make([]string, n)
+	for q, ok := range seen {
+		if !ok {
+			continue
+		}
+		row := make([]int, a.alpha.Size())
+		for i, next := range a.trans[q] {
+			row[i] = remap[next]
+		}
+		trans[remap[q]] = row
+		for i, p := range a.pairs {
+			pairs[i].R[remap[q]] = p.R[q]
+			pairs[i].P[remap[q]] = p.P[q]
+		}
+		if q < len(a.labels) {
+			labels[remap[q]] = a.labels[q]
+		}
+	}
+	out := MustNew(a.alpha, trans, remap[a.start], pairs)
+	out.labels = labels
+	return out
+}
+
+// String renders a compact description of the automaton.
+func (a *Automaton) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Streett automaton: %d states, %d pairs, start %s\n", len(a.trans), len(a.pairs), a.Label(a.start))
+	for i, p := range a.pairs {
+		fmt.Fprintf(&b, "  pair %d: R=%s P=%s\n", i, a.setString(p.R), a.setString(p.P))
+	}
+	return b.String()
+}
+
+func (a *Automaton) setString(v []bool) string {
+	var names []string
+	for q, in := range v {
+		if in {
+			names = append(names, a.Label(q))
+		}
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}

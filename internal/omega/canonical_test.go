@@ -1,0 +1,220 @@
+package omega_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/gen"
+	"repro/internal/lang"
+	"repro/internal/omega"
+)
+
+func TestInteriorGeneral(t *testing.T) {
+	// Interior of an open set is itself, even for multi-pair automata.
+	e := lang.E(lang.MustRegex(".*b", ab))
+	in := e.Interior()
+	eq, ce, err := in.Equivalent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("interior of open set differs: %v", ce)
+	}
+
+	// Interior of the closed non-open A(a⁺b*) is empty.
+	s := lang.A(lang.MustRegex("a^+b*", ab))
+	if !s.Interior().IsEmpty() {
+		t.Error("interior of a^ω+a⁺b^ω should be empty")
+	}
+
+	// Multi-pair input: interior of □◇a ∧ □◇b is empty (no prefix can
+	// force infinitely many of both).
+	prod, err := lang.R(lang.MustRegex(".*a", ab)).Intersect(lang.R(lang.MustRegex(".*b", ab)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Interior().IsEmpty() {
+		t.Error("interior of a recurrence conjunction should be empty")
+	}
+
+	// Interior of Σ^ω is Σ^ω.
+	u := omega.Universal(ab)
+	ok, err := u.Interior().IsUniversal()
+	if err != nil || !ok {
+		t.Error("interior of the full space is the full space")
+	}
+}
+
+func TestInteriorIsLargestOpenSubset(t *testing.T) {
+	// int(Π) ⊆ Π and int(Π) is open, on random automata.
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 20; i++ {
+		a := gen.RandomStreett(rng, ab, 3+rng.Intn(4), 1, 0.3, 0.4)
+		in := a.Interior()
+		ok, ce, err := a.Contains(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("interior not a subset: %v", ce)
+		}
+		// Open: equals its own interior.
+		eq, _, err := in.Equivalent(in.Interior())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatal("interior should be open (idempotent)")
+		}
+	}
+}
+
+func TestToSafetyAutomaton(t *testing.T) {
+	s := lang.A(lang.MustRegex("a^+b*", ab))
+	canon, err := s.ToSafetyAutomaton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canon.IsSafetyAutomaton() {
+		t.Error("canonical form should have the syntactic safety shape")
+	}
+	// Non-safety input must be rejected.
+	r := lang.R(lang.MustRegex(".*b", ab))
+	if _, err := r.ToSafetyAutomaton(); !errors.Is(err, omega.ErrNotInClass) {
+		t.Errorf("want ErrNotInClass, got %v", err)
+	}
+}
+
+func TestToGuaranteeAutomaton(t *testing.T) {
+	e := lang.E(lang.MustRegex(".*b", ab))
+	canon, err := e.ToGuaranteeAutomaton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canon.IsGuaranteeAutomaton() {
+		t.Error("canonical form should have the syntactic guarantee shape")
+	}
+	p := lang.P(lang.MustRegex(".*b", ab))
+	if _, err := p.ToGuaranteeAutomaton(); !errors.Is(err, omega.ErrNotInClass) {
+		t.Errorf("want ErrNotInClass, got %v", err)
+	}
+}
+
+func TestToRecurrenceAutomaton(t *testing.T) {
+	// A 2-pair recurrence conjunction merges into a single Büchi pair.
+	prod, err := lang.R(lang.MustRegex(".*a", ab)).Intersect(lang.R(lang.MustRegex(".*b", ab)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.NumPairs() != 2 {
+		t.Fatalf("setup: %d pairs", prod.NumPairs())
+	}
+	canon, err := prod.ToRecurrenceAutomaton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.NumPairs() != 1 || !canon.IsRecurrenceAutomaton() {
+		t.Errorf("canonical recurrence form wrong: %d pairs", canon.NumPairs())
+	}
+	// Safety and guarantee inputs are recurrence too (hierarchy!).
+	s := lang.A(lang.MustRegex("a^+b*", ab))
+	if _, err := s.ToRecurrenceAutomaton(); err != nil {
+		t.Errorf("safety ⊆ recurrence, canonicalization should work: %v", err)
+	}
+	// Persistence input must fail.
+	p := lang.P(lang.MustRegex(".*b", ab))
+	if _, err := p.ToRecurrenceAutomaton(); !errors.Is(err, omega.ErrNotInClass) {
+		t.Errorf("want ErrNotInClass, got %v", err)
+	}
+	// Simple reactivity input must fail.
+	abc := alphabet.MustLetters("abc")
+	sr, err := lang.SimpleReactivity(lang.MustRegex(".*a", abc), lang.MustRegex(".*b", abc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.ToRecurrenceAutomaton(); !errors.Is(err, omega.ErrNotInClass) {
+		t.Errorf("want ErrNotInClass, got %v", err)
+	}
+}
+
+func TestToPersistenceAutomaton(t *testing.T) {
+	p := lang.P(lang.MustRegex(".*b", ab))
+	canon, err := p.ToPersistenceAutomaton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canon.IsPersistenceAutomaton() {
+		t.Error("canonical form should be co-Büchi")
+	}
+	// Persistence conjunction (2 pairs) collapses too.
+	prod, err := lang.P(lang.MustRegex(".*a", ab)).Intersect(lang.P(lang.MustRegex("a*", ab)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prod.ToPersistenceAutomaton(); err != nil {
+		t.Errorf("persistence conjunction should canonicalize: %v", err)
+	}
+	r := lang.R(lang.MustRegex(".*b", ab))
+	if _, err := r.ToPersistenceAutomaton(); !errors.Is(err, omega.ErrNotInClass) {
+		t.Errorf("want ErrNotInClass, got %v", err)
+	}
+}
+
+// TestCanonicalizationPreservesLanguageRandom checks the constructions on
+// random automata: whenever a canonicalization succeeds, the language is
+// preserved exactly (built into the constructors) and the result has the
+// syntactic shape.
+func TestCanonicalizationPreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	shapes := 0
+	for i := 0; i < 40; i++ {
+		a := gen.RandomStreett(rng, ab, 3+rng.Intn(4), 1+rng.Intn(2), 0.3, 0.4)
+		if c, err := a.ToRecurrenceAutomaton(); err == nil {
+			if !c.IsRecurrenceAutomaton() {
+				t.Fatal("recurrence canonicalization lost shape")
+			}
+			shapes++
+		}
+		if c, err := a.ToPersistenceAutomaton(); err == nil {
+			if !c.IsPersistenceAutomaton() {
+				t.Fatal("persistence canonicalization lost shape")
+			}
+			shapes++
+		}
+		if c, err := a.ToSafetyAutomaton(); err == nil {
+			if !c.IsSafetyAutomaton() {
+				t.Fatal("safety canonicalization lost shape")
+			}
+			shapes++
+		}
+		if c, err := a.ToGuaranteeAutomaton(); err == nil {
+			if !c.IsGuaranteeAutomaton() {
+				t.Fatal("guarantee canonicalization lost shape")
+			}
+			shapes++
+		}
+	}
+	if shapes == 0 {
+		t.Error("no random automaton canonicalized — suspicious corpus")
+	}
+}
+
+func TestSyntacticShapePredicates(t *testing.T) {
+	if !lang.A(lang.MustRegex("a^+", ab)).IsSafetyAutomaton() {
+		t.Error("lang.A should build syntactic safety automata")
+	}
+	if !lang.E(lang.MustRegex(".*b", ab)).IsGuaranteeAutomaton() {
+		t.Error("lang.E should build syntactic guarantee automata")
+	}
+	if !lang.R(lang.MustRegex(".*b", ab)).IsRecurrenceAutomaton() {
+		t.Error("lang.R should build Büchi-shaped automata")
+	}
+	if !lang.P(lang.MustRegex(".*b", ab)).IsPersistenceAutomaton() {
+		t.Error("lang.P should build co-Büchi-shaped automata")
+	}
+	if lang.R(lang.MustRegex(".*b", ab)).IsPersistenceAutomaton() {
+		t.Error("R(Σ*b) is not co-Büchi-shaped")
+	}
+}

@@ -1,0 +1,130 @@
+package omega
+
+// AcceptingCycleWithin returns a strongly connected, cyclic set of states
+// J ⊆ allowed with J in the accepting family F (a run with inf = J is
+// accepted), or nil if none exists. This is the Streett-emptiness
+// refinement exposed for the classification procedures of §5.1.
+func (a *Automaton) AcceptingCycleWithin(allowed []bool) []int {
+	return a.findAcceptingSCC(allowed)
+}
+
+// RejectingCycleWithin returns a cyclic set B ⊆ allowed with B ∉ F — i.e.
+// B ∩ R_i = ∅ and B ⊄ P_i for some pair i — or nil if none exists.
+func (a *Automaton) RejectingCycleWithin(allowed []bool) []int {
+	n := len(a.trans)
+	for _, p := range a.pairs {
+		restricted := make([]bool, n)
+		any := false
+		for q := 0; q < n; q++ {
+			restricted[q] = (allowed == nil || allowed[q]) && !p.R[q]
+			any = any || restricted[q]
+		}
+		if !any {
+			continue
+		}
+		for _, comp := range a.SCCs(restricted) {
+			if !a.IsCyclic(comp) {
+				continue
+			}
+			outside := false
+			for _, q := range comp {
+				if !p.P[q] {
+					outside = true
+					break
+				}
+			}
+			if outside {
+				return comp
+			}
+		}
+	}
+	return nil
+}
+
+// CoLiveStates returns, per state, whether some infinite word is rejected
+// when the run starts there — the liveness notion of the complement
+// language. Like dead states, the "co-dead" region (from which everything
+// is accepted) is transition-closed.
+func (a *Automaton) CoLiveStates() []bool {
+	n := len(a.trans)
+	coLive := make([]bool, n)
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	for _, comp := range a.SCCs(all) {
+		if !a.IsCyclic(comp) {
+			continue
+		}
+		if rej := a.RejectingCycleWithin(a.stateSet(comp)); rej != nil {
+			for _, q := range rej {
+				coLive[q] = true
+			}
+		}
+	}
+	rev := make([][]int, n)
+	for q := range a.trans {
+		for _, next := range a.trans[q] {
+			rev[next] = append(rev[next], q)
+		}
+	}
+	var stack []int
+	for q, l := range coLive {
+		if l {
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !coLive[p] {
+				coLive[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return coLive
+}
+
+// BrokenPairs returns the indices of the Streett pairs violated by a run
+// with infinity set exactly `set`.
+func (a *Automaton) BrokenPairs(set []int) []int {
+	var out []int
+	for i, p := range a.pairs {
+		meetsR, inP := false, true
+		for _, q := range set {
+			if p.R[q] {
+				meetsR = true
+			}
+			if !p.P[q] {
+				inP = false
+			}
+		}
+		if !meetsR && !inP {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PairVectors returns (read-only) views of pair i's R and P vectors.
+func (a *Automaton) PairVectors(i int) (r, p []bool) { return a.pairs[i].R, a.pairs[i].P }
+
+// StateSet converts a state slice into a membership vector sized to the
+// automaton.
+func (a *Automaton) StateSet(set []int) []bool { return a.stateSet(set) }
+
+// Successors returns the successor states of q, one per alphabet symbol
+// (duplicates possible). The returned slice is a copy.
+func (a *Automaton) Successors(q int) []int {
+	return append([]int(nil), a.trans[q]...)
+}
+
+// WithStart returns a copy of the automaton with a different initial
+// state.
+func (a *Automaton) WithStart(q int) *Automaton {
+	out := MustNew(a.alpha, a.trans, q, a.pairs)
+	out.labels = append([]string(nil), a.labels...)
+	return out
+}

@@ -1,0 +1,54 @@
+package omega
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the automaton in Graphviz dot format. States are annotated
+// with their pair memberships (Rᵢ/Pᵢ); parallel edges between the same
+// states are merged with comma-separated symbol labels.
+func (a *Automaton) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  init [shape=point];\n  init -> q%d;\n", a.start)
+	for q := range a.trans {
+		var marks []string
+		for i, p := range a.pairs {
+			if p.R[q] {
+				marks = append(marks, fmt.Sprintf("R%d", i+1))
+			}
+			if p.P[q] {
+				marks = append(marks, fmt.Sprintf("P%d", i+1))
+			}
+		}
+		label := a.Label(q)
+		if len(marks) > 0 {
+			label += "\\n" + strings.Join(marks, ",")
+		}
+		shape := "circle"
+		if len(marks) > 0 {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [label=%q, shape=%s];\n", q, label, shape)
+	}
+	for q := range a.trans {
+		bySucc := map[int][]string{}
+		for si, to := range a.trans[q] {
+			bySucc[to] = append(bySucc[to], string(a.alpha.Symbol(si)))
+		}
+		var succs []int
+		for to := range bySucc {
+			succs = append(succs, to)
+		}
+		sort.Ints(succs)
+		for _, to := range succs {
+			fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", q, to, strings.Join(bySucc[to], ","))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package omega_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestDot(t *testing.T) {
+	a := lang.R(lang.MustRegex(".*b", ab))
+	out := a.Dot("recurrence")
+	for _, want := range []string{
+		"digraph \"recurrence\"", "rankdir=LR", "init ->",
+		"doublecircle", "q0 -> q1", "R1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Merged parallel edges: a universal one-state automaton has a
+	// single self-loop labeled with both symbols.
+	u := lang.A(lang.MustRegex(".^+", ab)) // Σ^ω as safety automaton
+	dot := u.Dot("top")
+	if strings.Count(dot, "->") > 3 { // init edge + at most 2 state edges
+		t.Errorf("parallel edges not merged:\n%s", dot)
+	}
+}

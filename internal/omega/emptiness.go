@@ -1,0 +1,165 @@
+package omega
+
+import (
+	"repro/internal/word"
+)
+
+// acceptsCycleSet reports whether a run whose infinity set is exactly the
+// given set would be accepted — i.e. whether the set belongs to the
+// accepting family F of §5.1.
+func (a *Automaton) acceptsCycleSet(set []int) bool {
+	return a.AcceptsSet(set)
+}
+
+// findAcceptingSCC implements the classical Streett emptiness refinement:
+// it returns a cyclic state set J, contained in the allowed region, such
+// that J ∈ F and a run can realize inf = J; or nil if none exists.
+func (a *Automaton) findAcceptingSCC(allowed []bool) []int {
+	for _, comp := range a.SCCs(allowed) {
+		if !a.IsCyclic(comp) {
+			continue
+		}
+		if res := a.refineSCC(comp); res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// refineSCC checks one strongly connected, cyclic component: if it
+// violates some pairs, it restricts to the intersection of their P-sets
+// and recurses.
+func (a *Automaton) refineSCC(comp []int) []int {
+	var bad []int
+	for i, p := range a.pairs {
+		meetsR, inP := false, true
+		for _, q := range comp {
+			if p.R[q] {
+				meetsR = true
+			}
+			if !p.P[q] {
+				inP = false
+			}
+		}
+		if !meetsR && !inP {
+			bad = append(bad, i)
+		}
+	}
+	if len(bad) == 0 {
+		return comp
+	}
+	restricted := make([]bool, len(a.trans))
+	count := 0
+	for _, q := range comp {
+		keep := true
+		for _, i := range bad {
+			if !a.pairs[i].P[q] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			restricted[q] = true
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	return a.findAcceptingSCC(restricted)
+}
+
+// IsEmpty reports whether the automaton accepts no infinite word.
+func (a *Automaton) IsEmpty() bool {
+	_, ok := a.WitnessLasso()
+	return !ok
+}
+
+// WitnessLasso returns a lasso word accepted by the automaton, or ok=false
+// if the language is empty. The witness realizes inf(r) equal to an
+// accepting strongly connected set.
+func (a *Automaton) WitnessLasso() (word.Lasso, bool) {
+	comp := a.findAcceptingSCC(a.Reachable())
+	if comp == nil {
+		return word.Lasso{}, false
+	}
+	anchor := comp[0]
+	prefix, ok := a.pathWithin(a.start, anchor, nil)
+	if !ok {
+		return word.Lasso{}, false
+	}
+	loop, ok := a.coveringCycle(anchor, comp)
+	if !ok {
+		return word.Lasso{}, false
+	}
+	return word.MustLasso(prefix, loop), true
+}
+
+// NonEmptyFrom reports whether some infinite word is accepted when the run
+// starts at state q instead of the initial state.
+func (a *Automaton) NonEmptyFrom(q int) bool {
+	reach := make([]bool, len(a.trans))
+	reach[q] = true
+	stack := []int{q}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range a.trans[s] {
+			if !reach[next] {
+				reach[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return a.findAcceptingSCC(reach) != nil
+}
+
+// LiveStates returns, per state, whether the automaton accepts some word
+// from that state. Dead states are closed under transitions: every
+// successor of a dead state is dead.
+func (a *Automaton) LiveStates() []bool {
+	n := len(a.trans)
+	live := make([]bool, n)
+	// Every state inside some accepting SCC is live; then propagate
+	// backwards: a state with a live successor is live.
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	for _, comp := range a.SCCs(all) {
+		if !a.IsCyclic(comp) {
+			continue
+		}
+		if res := a.refineSCC(comp); res != nil {
+			for _, q := range res {
+				live[q] = true
+			}
+		}
+	}
+	// Some accepting sets are strict subsets found by refinement in other
+	// components; mark those too by checking each not-yet-live SCC's
+	// refinement result (already done above). Now propagate backwards.
+	rev := make([][]int, n)
+	for q := range a.trans {
+		for _, next := range a.trans[q] {
+			rev[next] = append(rev[next], q)
+		}
+	}
+	var stack []int
+	for q, l := range live {
+		if l {
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return live
+}

@@ -1,0 +1,104 @@
+package omega
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/word"
+)
+
+// Contains reports whether L(a) ⊇ L(b), exactly. On failure it returns a
+// witness lasso in L(b) − L(a).
+//
+// Method: on the synchronous product, a counterexample is a reachable
+// cyclic set J accepted by b's (lifted) pairs and rejected by a's — i.e.
+// for some a-pair i, J ∩ R_i = ∅ and J ⊄ P_i. For each candidate broken
+// pair i the search restricts the graph to Q − R_i, adds the Streett pair
+// (Q − P_i, ∅) forcing J ⊄ P_i, and runs the standard emptiness
+// refinement with b's pairs. This stays polynomial and needs no Rabin
+// complementation.
+func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
+	if !a.alpha.Equal(b.alpha) {
+		return false, word.Lasso{}, fmt.Errorf("omega: containment over different alphabets")
+	}
+	// Build the product structure with both pair lists lifted.
+	prod, err := a.Intersect(b)
+	if err != nil {
+		return false, word.Lasso{}, err
+	}
+	na := len(a.pairs)
+	aPairs := prod.pairs[:na]
+	bPairs := prod.pairs[na:]
+	n := len(prod.trans)
+	reach := prod.Reachable()
+
+	for _, broken := range aPairs {
+		allowed := make([]bool, n)
+		for q := 0; q < n; q++ {
+			allowed[q] = reach[q] && !broken.R[q]
+		}
+		forcing := Pair{R: make([]bool, n), P: make([]bool, n)}
+		for q := 0; q < n; q++ {
+			forcing.R[q] = !broken.P[q]
+		}
+		search := &Automaton{
+			alpha: prod.alpha,
+			trans: prod.trans,
+			start: prod.start,
+			pairs: append(append([]Pair{}, bPairs...), forcing),
+		}
+		comp := search.findAcceptingSCC(allowed)
+		if comp == nil {
+			continue
+		}
+		anchor := comp[0]
+		prefix, ok := prod.pathWithin(prod.start, anchor, nil)
+		if !ok {
+			continue
+		}
+		loop, ok := prod.coveringCycle(anchor, comp)
+		if !ok {
+			continue
+		}
+		return false, word.MustLasso(prefix, loop), nil
+	}
+	return true, word.Lasso{}, nil
+}
+
+// Equivalent reports whether L(a) = L(b), exactly. On failure the witness
+// lasso is in the symmetric difference.
+func (a *Automaton) Equivalent(b *Automaton) (bool, word.Lasso, error) {
+	ok, w, err := a.Contains(b)
+	if err != nil {
+		return false, word.Lasso{}, err
+	}
+	if !ok {
+		return false, w, nil
+	}
+	ok, w, err = b.Contains(a)
+	if err != nil {
+		return false, word.Lasso{}, err
+	}
+	if !ok {
+		return false, w, nil
+	}
+	return true, word.Lasso{}, nil
+}
+
+// IsUniversal reports whether the automaton accepts every infinite word.
+func (a *Automaton) IsUniversal() (bool, error) {
+	ok, _, err := a.Contains(Universal(a.alpha))
+	return ok, err
+}
+
+// Universal returns a one-state automaton accepting Σ^ω.
+func Universal(alpha *alphabet.Alphabet) *Automaton {
+	row := make([]int, alpha.Size())
+	return MustNew(alpha, [][]int{row}, 0, []Pair{{R: []bool{true}, P: []bool{true}}})
+}
+
+// Empty returns a one-state automaton accepting nothing.
+func Empty(alpha *alphabet.Alphabet) *Automaton {
+	row := make([]int, alpha.Size())
+	return MustNew(alpha, [][]int{row}, 0, []Pair{{R: []bool{false}, P: []bool{false}}})
+}

@@ -1,0 +1,205 @@
+package omega
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/alphabet"
+)
+
+// ParseText parses the textual Streett-automaton format (the input format
+// of cmd/classify -automaton):
+//
+//	# comments and blank lines are ignored
+//	alphabet a b
+//	states 3
+//	start 0
+//	trans 0 a 1        # from symbol to
+//	trans 0 b 0
+//	...
+//	pair R=1,2 P=0     # one line per Streett pair; sets are comma lists
+//	pair R= P=0,1,2    # empty sets are allowed
+//
+// Every (state, symbol) must have exactly one transition (complete
+// deterministic).
+func ParseText(input string) (*Automaton, error) {
+	var alpha *alphabet.Alphabet
+	n := -1
+	start := 0
+	startSeen := false
+	type edge struct {
+		from, to int
+		sym      string
+	}
+	var edges []edge
+	var pairSpecs [][2]string
+
+	for lineNo, raw := range strings.Split(input, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "alphabet":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("omega: line %d: alphabet needs symbols", lineNo+1)
+			}
+			syms := make([]alphabet.Symbol, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				syms = append(syms, alphabet.Symbol(f))
+			}
+			a, err := alphabet.New(syms...)
+			if err != nil {
+				return nil, fmt.Errorf("omega: line %d: %w", lineNo+1, err)
+			}
+			alpha = a
+		case "states":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("omega: line %d: states needs a count", lineNo+1)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("omega: line %d: bad state count %q", lineNo+1, fields[1])
+			}
+			n = v
+		case "start":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("omega: line %d: start needs a state", lineNo+1)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("omega: line %d: bad start %q", lineNo+1, fields[1])
+			}
+			start = v
+			startSeen = true
+		case "trans":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("omega: line %d: trans needs 'from symbol to'", lineNo+1)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("omega: line %d: bad transition states", lineNo+1)
+			}
+			edges = append(edges, edge{from: from, to: to, sym: fields[2]})
+		case "pair":
+			if len(fields) != 3 || !strings.HasPrefix(fields[1], "R=") || !strings.HasPrefix(fields[2], "P=") {
+				return nil, fmt.Errorf("omega: line %d: pair needs 'R=... P=...'", lineNo+1)
+			}
+			pairSpecs = append(pairSpecs, [2]string{fields[1][2:], fields[2][2:]})
+		default:
+			return nil, fmt.Errorf("omega: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+
+	if alpha == nil {
+		return nil, fmt.Errorf("omega: missing alphabet directive")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("omega: missing states directive")
+	}
+	if !startSeen {
+		return nil, fmt.Errorf("omega: missing start directive")
+	}
+	if len(pairSpecs) == 0 {
+		return nil, fmt.Errorf("omega: need at least one pair directive")
+	}
+
+	k := alpha.Size()
+	trans := make([][]int, n)
+	for q := range trans {
+		row := make([]int, k)
+		for s := range row {
+			row[s] = -1
+		}
+		trans[q] = row
+	}
+	for _, e := range edges {
+		if e.from < 0 || e.from >= n || e.to < 0 || e.to >= n {
+			return nil, fmt.Errorf("omega: transition %d-%s->%d out of range", e.from, e.sym, e.to)
+		}
+		si := alpha.Index(alphabet.Symbol(e.sym))
+		if si < 0 {
+			return nil, fmt.Errorf("omega: transition symbol %q not in alphabet", e.sym)
+		}
+		if trans[e.from][si] >= 0 {
+			return nil, fmt.Errorf("omega: duplicate transition from %d on %q", e.from, e.sym)
+		}
+		trans[e.from][si] = e.to
+	}
+	for q, row := range trans {
+		for si, to := range row {
+			if to < 0 {
+				return nil, fmt.Errorf("omega: state %d missing transition on %q (automata must be complete)", q, alpha.Symbol(si))
+			}
+		}
+	}
+
+	parseSet := func(spec string) ([]bool, error) {
+		v := make([]bool, n)
+		if spec == "" {
+			return v, nil
+		}
+		for _, part := range strings.Split(spec, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || q < 0 || q >= n {
+				return nil, fmt.Errorf("omega: bad state %q in set", part)
+			}
+			v[q] = true
+		}
+		return v, nil
+	}
+	pairs := make([]Pair, 0, len(pairSpecs))
+	for _, spec := range pairSpecs {
+		r, err := parseSet(spec[0])
+		if err != nil {
+			return nil, err
+		}
+		p, err := parseSet(spec[1])
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, Pair{R: r, P: p})
+	}
+	return New(alpha, trans, start, pairs)
+}
+
+// Text renders the automaton in the ParseText format (a round trip).
+func (a *Automaton) Text() string {
+	var b strings.Builder
+	b.WriteString("alphabet")
+	for _, s := range a.alpha.Symbols() {
+		b.WriteString(" " + string(s))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "states %d\nstart %d\n", len(a.trans), a.start)
+	for q := range a.trans {
+		for si, to := range a.trans[q] {
+			fmt.Fprintf(&b, "trans %d %s %d\n", q, a.alpha.Symbol(si), to)
+		}
+	}
+	setSpec := func(v []bool) string {
+		var ids []int
+		for q, in := range v {
+			if in {
+				ids = append(ids, q)
+			}
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, q := range ids {
+			parts[i] = strconv.Itoa(q)
+		}
+		return strings.Join(parts, ",")
+	}
+	for _, p := range a.pairs {
+		fmt.Fprintf(&b, "pair R=%s P=%s\n", setSpec(p.R), setSpec(p.P))
+	}
+	return b.String()
+}

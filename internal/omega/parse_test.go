@@ -1,0 +1,87 @@
+package omega_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/lang"
+	"repro/internal/omega"
+)
+
+const sampleAutomaton = `
+# R(Σ*b): infinitely many b's
+alphabet a b
+states 2
+start 0
+trans 0 a 0
+trans 0 b 1
+trans 1 a 0
+trans 1 b 1
+pair R=1 P=
+`
+
+func TestParseText(t *testing.T) {
+	a, err := omega.ParseText(sampleAutomaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lang.R(lang.MustRegex(".*b", ab))
+	eq, ce, err := a.Equivalent(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("parsed automaton differs from R(Σ*b): %v", ce)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := map[string]string{
+		"missing alphabet": "states 1\nstart 0\ntrans 0 a 0\npair R= P=0",
+		"missing states":   "alphabet a\nstart 0\npair R= P=",
+		"missing start":    "alphabet a\nstates 1\ntrans 0 a 0\npair R= P=0",
+		"missing pair":     "alphabet a\nstates 1\nstart 0\ntrans 0 a 0",
+		"incomplete":       "alphabet a b\nstates 1\nstart 0\ntrans 0 a 0\npair R= P=0",
+		"duplicate trans":  "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\ntrans 0 a 0\npair R= P=0",
+		"bad directive":    "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\nfoo\npair R= P=0",
+		"range":            "alphabet a\nstates 1\nstart 0\ntrans 0 a 5\npair R= P=0",
+		"bad set":          "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\npair R=9 P=",
+		"foreign symbol":   "alphabet a\nstates 1\nstart 0\ntrans 0 z 0\npair R= P=0",
+		"bad pair syntax":  "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\npair 0 1",
+	}
+	for name, input := range bad {
+		t.Run(name, func(t *testing.T) {
+			if _, err := omega.ParseText(input); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 25; i++ {
+		a := gen.RandomStreett(rng, ab, 2+rng.Intn(5), 1+rng.Intn(2), 0.3, 0.4)
+		text := a.Text()
+		b, err := omega.ParseText(text)
+		if err != nil {
+			t.Fatalf("round trip parse failed:\n%s\n%v", text, err)
+		}
+		eq, ce, err := a.Equivalent(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("round trip changed the language (witness %v):\n%s", ce, text)
+		}
+	}
+}
+
+func TestTextComments(t *testing.T) {
+	withComments := strings.ReplaceAll(sampleAutomaton, "trans 0 a 0", "trans 0 a 0 # self loop")
+	if _, err := omega.ParseText(withComments); err != nil {
+		t.Fatalf("inline comments should parse: %v", err)
+	}
+}

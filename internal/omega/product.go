@@ -1,0 +1,169 @@
+package omega
+
+import (
+	"fmt"
+)
+
+// Intersect returns the synchronous product automaton, accepting
+// L(a) ∩ L(b): the Streett lists of both factors are lifted to the product
+// (Streett conditions are conjunctive, so the product needs no further
+// machinery). Only reachable product states are materialized.
+func (a *Automaton) Intersect(b *Automaton) (*Automaton, error) {
+	if !a.alpha.Equal(b.alpha) {
+		return nil, fmt.Errorf("omega: product over different alphabets %v and %v", a.alpha, b.alpha)
+	}
+	k := a.alpha.Size()
+	type pr struct{ x, y int }
+	index := map[pr]int{}
+	var order []pr
+	get := func(p pr) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(order)
+		index[p] = i
+		order = append(order, p)
+		return i
+	}
+	get(pr{a.start, b.start})
+	var trans [][]int
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		row := make([]int, k)
+		for s := 0; s < k; s++ {
+			row[s] = get(pr{a.trans[p.x][s], b.trans[p.y][s]})
+		}
+		trans = append(trans, row)
+	}
+	n := len(order)
+	pairs := make([]Pair, 0, len(a.pairs)+len(b.pairs))
+	for _, p := range a.pairs {
+		lifted := Pair{R: make([]bool, n), P: make([]bool, n)}
+		for i, st := range order {
+			lifted.R[i] = p.R[st.x]
+			lifted.P[i] = p.P[st.x]
+		}
+		pairs = append(pairs, lifted)
+	}
+	for _, p := range b.pairs {
+		lifted := Pair{R: make([]bool, n), P: make([]bool, n)}
+		for i, st := range order {
+			lifted.R[i] = p.R[st.y]
+			lifted.P[i] = p.P[st.y]
+		}
+		pairs = append(pairs, lifted)
+	}
+	labels := make([]string, n)
+	for i, st := range order {
+		labels[i] = a.Label(st.x) + "|" + b.Label(st.y)
+	}
+	out, err := New(a.alpha, trans, 0, pairs)
+	if err != nil {
+		return nil, err
+	}
+	out.labels = labels
+	return out, nil
+}
+
+// IntersectAll folds Intersect over a non-empty list of automata.
+func IntersectAll(autos ...*Automaton) (*Automaton, error) {
+	if len(autos) == 0 {
+		return nil, fmt.Errorf("omega: IntersectAll needs at least one automaton")
+	}
+	out := autos[0]
+	for _, next := range autos[1:] {
+		var err error
+		out, err = out.Intersect(next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ComplementSinglePair complements a single-pair Streett automaton. The
+// complement of "inf∩R≠∅ ∨ inf⊆P" is "inf∩R=∅ ∧ inf⊄P", which is the
+// 2-pair Streett condition (∅, Q−R) ∧ (Q−P, Q). General multi-pair
+// complementation would need a Rabin detour and is not required by the
+// paper's constructions.
+func (a *Automaton) ComplementSinglePair() (*Automaton, error) {
+	if len(a.pairs) != 1 {
+		return nil, fmt.Errorf("omega: ComplementSinglePair on %d pairs", len(a.pairs))
+	}
+	n := len(a.trans)
+	p := a.pairs[0]
+	notR := make([]bool, n)
+	notP := make([]bool, n)
+	all := make([]bool, n)
+	none := make([]bool, n)
+	for q := 0; q < n; q++ {
+		notR[q] = !p.R[q]
+		notP[q] = !p.P[q]
+		all[q] = true
+	}
+	pairs := []Pair{
+		{R: none, P: notR}, // inf ⊆ Q−R, i.e. inf∩R=∅
+		{R: notP, P: none}, // inf ∩ (Q−P) ≠ ∅, i.e. inf ⊄ P
+	}
+	out, err := New(a.alpha, a.trans, a.start, pairs)
+	if err != nil {
+		return nil, err
+	}
+	out.labels = append([]string(nil), a.labels...)
+	return out, nil
+}
+
+// WithPairs returns a copy of the automaton's transition structure with a
+// different acceptance list.
+func (a *Automaton) WithPairs(pairs []Pair) (*Automaton, error) {
+	out, err := New(a.alpha, a.trans, a.start, pairs)
+	if err != nil {
+		return nil, err
+	}
+	out.labels = append([]string(nil), a.labels...)
+	return out, nil
+}
+
+// SafetyClosure returns an automaton for A(Pref(Π)), the paper's safety
+// closure (topologically, the closure cl(Π)): a run is accepted iff it
+// never enters a dead state. The result is a safety automaton (one pair
+// with R = ∅ and P = the live states).
+func (a *Automaton) SafetyClosure() *Automaton {
+	live := a.LiveStates()
+	n := len(a.trans)
+	none := make([]bool, n)
+	out := MustNew(a.alpha, a.trans, a.start, []Pair{{R: none, P: live}})
+	out.labels = append([]string(nil), a.labels...)
+	return out
+}
+
+// LivenessExtension returns an automaton for the paper's liveness
+// extension 𝓛(Π) = Π ∪ E(¬Pref(Π)): every run that enters a dead state is
+// additionally accepted. Since the dead region is transition-closed, this
+// is achieved by adding it to every P-set.
+func (a *Automaton) LivenessExtension() *Automaton {
+	live := a.LiveStates()
+	pairs := a.Pairs()
+	for i := range pairs {
+		for q := range pairs[i].P {
+			if !live[q] {
+				pairs[i].P[q] = true
+			}
+		}
+	}
+	out := MustNew(a.alpha, a.trans, a.start, pairs)
+	out.labels = append([]string(nil), a.labels...)
+	return out
+}
+
+// IsLivenessProperty reports whether the automaton's language is a
+// liveness property: Pref(Π) = Σ⁺, i.e. every reachable state is live.
+func (a *Automaton) IsLivenessProperty() bool {
+	live := a.LiveStates()
+	for q, reach := range a.Reachable() {
+		if reach && !live[q] {
+			return false
+		}
+	}
+	return true
+}

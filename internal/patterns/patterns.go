@@ -1,0 +1,250 @@
+// Package patterns provides a catalog of specification patterns in the
+// style of Dwyer, Avrunin and Corbett, expressed in the normalizable
+// fragment of this library and pre-classified in the paper's hierarchy.
+// The paper's §1 motivates exactly this use: the hierarchy as a checklist
+// for property-list specifications; this package is the checklist's
+// vocabulary.
+//
+// Each pattern takes an intent (occurrence or ordering of events) and a
+// scope (the portion of computations it constrains). Some scoped variants
+// use the weak (after-until) reading where the classic catalog demands
+// the scope's closing event — those spots are documented on the
+// constructor.
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ltl"
+)
+
+// Pattern is a specification-pattern kind.
+type Pattern int
+
+// The supported patterns.
+const (
+	// Absence: the event never occurs (in scope).
+	Absence Pattern = iota + 1
+	// Existence: the event occurs at least once (in scope).
+	Existence
+	// Universality: the state formula holds throughout (the scope).
+	Universality
+	// Response: every stimulus is eventually followed by a response.
+	Response
+	// Precedence: the event cannot occur before its enabler.
+	Precedence
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Absence:
+		return "absence"
+	case Existence:
+		return "existence"
+	case Universality:
+		return "universality"
+	case Response:
+		return "response"
+	case Precedence:
+		return "precedence"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Scope restricts where a pattern applies.
+type Scope int
+
+// The supported scopes.
+const (
+	// Global: the whole computation.
+	Global Scope = iota + 1
+	// Before: up to the first occurrence of the delimiter R.
+	Before
+	// After: from the first occurrence of the delimiter R on.
+	After
+	// AfterUntil: inside every segment opened by R and closed by S
+	// (the weak "between" that does not require S to occur).
+	AfterUntil
+)
+
+func (s Scope) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case AfterUntil:
+		return "after-until"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Spec names one pattern instance.
+type Spec struct {
+	Pattern Pattern
+	Scope   Scope
+	// P is the pattern's main event/state formula; Q is the second one for
+	// Response (the response) and Precedence (the enabler).
+	P, Q ltl.Formula
+	// R, S delimit the scope (R for Before/After/AfterUntil, S for
+	// AfterUntil). All formulas must be past formulas (state formulas are
+	// the common case).
+	R, S ltl.Formula
+}
+
+// Build returns the pattern's temporal formula. All provided formulas
+// must be past formulas; the result is always inside the normalizable
+// fragment, so it classifies and compiles.
+func Build(spec Spec) (ltl.Formula, error) {
+	check := func(name string, f ltl.Formula, required bool) error {
+		if f == nil {
+			if required {
+				return fmt.Errorf("patterns: %v/%v needs %s", spec.Pattern, spec.Scope, name)
+			}
+			return nil
+		}
+		if !ltl.IsPastFormula(f) {
+			return fmt.Errorf("patterns: %s must be a past formula, got %v", name, f)
+		}
+		return nil
+	}
+	needQ := spec.Pattern == Response || spec.Pattern == Precedence
+	if err := check("P", spec.P, true); err != nil {
+		return nil, err
+	}
+	if err := check("Q", spec.Q, needQ); err != nil {
+		return nil, err
+	}
+	if err := check("R", spec.R, spec.Scope != Global); err != nil {
+		return nil, err
+	}
+	if err := check("S", spec.S, spec.Scope == AfterUntil); err != nil {
+		return nil, err
+	}
+
+	p, q, r, s := spec.P, spec.Q, spec.R, spec.S
+	switch spec.Pattern {
+	case Absence:
+		switch spec.Scope {
+		case Global:
+			return ltl.Always{F: ltl.Not{F: p}}, nil
+		case Before:
+			// No p strictly before the first r: ◇r → (¬p U r).
+			return ltl.Implies{L: ltl.Eventually{F: r}, R: ltl.Until{L: ltl.Not{F: p}, R: r}}, nil
+		case After:
+			// □((◇⁻r) → ¬p): once r has occurred, p is banned.
+			return ltl.Always{F: ltl.Implies{L: ltl.Once{F: r}, R: ltl.Not{F: p}}}, nil
+		case AfterUntil:
+			// □((r ∧ ¬s) → (¬p W s)).
+			return ltl.Always{F: ltl.Implies{
+				L: ltl.And{L: r, R: ltl.Not{F: s}},
+				R: ltl.Unless{L: ltl.Not{F: p}, R: s},
+			}}, nil
+		}
+	case Existence:
+		switch spec.Scope {
+		case Global:
+			return ltl.Eventually{F: p}, nil
+		case Before:
+			// p occurs strictly before any r: ¬r W (p ∧ ¬r).
+			return ltl.Unless{L: ltl.Not{F: r}, R: ltl.And{L: p, R: ltl.Not{F: r}}}, nil
+		case After:
+			// □¬r ∨ ◇(p ∧ ◇⁻r): if r ever occurs, p occurs at or after it.
+			return ltl.Or{
+				L: ltl.Always{F: ltl.Not{F: r}},
+				R: ltl.Eventually{F: ltl.And{L: p, R: ltl.Once{F: r}}},
+			}, nil
+		case AfterUntil:
+			// □((r ∧ ¬s) → (¬s W (p ∧ ¬s))): in every open segment, p
+			// appears before it closes (or the segment never closes).
+			return ltl.Always{F: ltl.Implies{
+				L: ltl.And{L: r, R: ltl.Not{F: s}},
+				R: ltl.Unless{L: ltl.Not{F: s}, R: ltl.And{L: p, R: ltl.Not{F: s}}},
+			}}, nil
+		}
+	case Universality:
+		switch spec.Scope {
+		case Global:
+			return ltl.Always{F: p}, nil
+		case Before:
+			return ltl.Implies{L: ltl.Eventually{F: r}, R: ltl.Until{L: p, R: r}}, nil
+		case After:
+			return ltl.Always{F: ltl.Implies{L: ltl.Once{F: r}, R: p}}, nil
+		case AfterUntil:
+			return ltl.Always{F: ltl.Implies{
+				L: ltl.And{L: r, R: ltl.Not{F: s}},
+				R: ltl.Unless{L: p, R: s},
+			}}, nil
+		}
+	case Response:
+		switch spec.Scope {
+		case Global:
+			return ltl.Always{F: ltl.Implies{L: p, R: ltl.Eventually{F: q}}}, nil
+		case After:
+			// Only stimuli after r need answering: □((◇⁻r ∧ p) → ◇q).
+			return ltl.Always{F: ltl.Implies{
+				L: ltl.And{L: ltl.Once{F: r}, R: p},
+				R: ltl.Eventually{F: q},
+			}}, nil
+		default:
+			return nil, fmt.Errorf("patterns: response supports global and after scopes, not %v", spec.Scope)
+		}
+	case Precedence:
+		switch spec.Scope {
+		case Global:
+			// ¬p W q: no p before its enabler q.
+			return ltl.Unless{L: ltl.Not{F: p}, R: q}, nil
+		case After:
+			// □((◇⁻r ∧ p) → ◇⁻q): after r, any p must have q in its past.
+			return ltl.Always{F: ltl.Implies{
+				L: ltl.And{L: ltl.Once{F: r}, R: p},
+				R: ltl.Once{F: q},
+			}}, nil
+		default:
+			return nil, fmt.Errorf("patterns: precedence supports global and after scopes, not %v", spec.Scope)
+		}
+	}
+	return nil, fmt.Errorf("patterns: unknown pattern %v / scope %v", spec.Pattern, spec.Scope)
+}
+
+// Entry is one row of the catalog: a pattern instance with its expected
+// hierarchy class.
+type Entry struct {
+	Name  string
+	Spec  Spec
+	Class core.Class
+}
+
+// Catalog enumerates every supported (pattern, scope) combination over
+// generic propositions, with its hierarchy class — the specifier's
+// checklist. The classes are verified by the test suite against the
+// semantic classifier.
+func Catalog() []Entry {
+	p := ltl.Prop{Name: "p"}
+	q := ltl.Prop{Name: "q"}
+	r := ltl.Prop{Name: "r"}
+	s := ltl.Prop{Name: "s"}
+	return []Entry{
+		{"absence/global", Spec{Pattern: Absence, Scope: Global, P: p}, core.Safety},
+		{"absence/before", Spec{Pattern: Absence, Scope: Before, P: p, R: r}, core.Safety},
+		{"absence/after", Spec{Pattern: Absence, Scope: After, P: p, R: r}, core.Safety},
+		{"absence/after-until", Spec{Pattern: Absence, Scope: AfterUntil, P: p, R: r, S: s}, core.Safety},
+		{"existence/global", Spec{Pattern: Existence, Scope: Global, P: p}, core.Guarantee},
+		{"existence/before", Spec{Pattern: Existence, Scope: Before, P: p, R: r}, core.Safety},
+		{"existence/after", Spec{Pattern: Existence, Scope: After, P: p, R: r}, core.Obligation},
+		{"existence/after-until", Spec{Pattern: Existence, Scope: AfterUntil, P: p, R: r, S: s}, core.Safety},
+		{"universality/global", Spec{Pattern: Universality, Scope: Global, P: p}, core.Safety},
+		{"universality/before", Spec{Pattern: Universality, Scope: Before, P: p, R: r}, core.Safety},
+		{"universality/after", Spec{Pattern: Universality, Scope: After, P: p, R: r}, core.Safety},
+		{"universality/after-until", Spec{Pattern: Universality, Scope: AfterUntil, P: p, R: r, S: s}, core.Safety},
+		{"response/global", Spec{Pattern: Response, Scope: Global, P: p, Q: q}, core.Recurrence},
+		{"response/after", Spec{Pattern: Response, Scope: After, P: p, Q: q, R: r}, core.Recurrence},
+		{"precedence/global", Spec{Pattern: Precedence, Scope: Global, P: p, Q: q}, core.Safety},
+		{"precedence/after", Spec{Pattern: Precedence, Scope: After, P: p, Q: q, R: r}, core.Safety},
+	}
+}

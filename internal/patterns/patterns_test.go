@@ -1,0 +1,193 @@
+package patterns_test
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/ltl"
+	"repro/internal/patterns"
+	"repro/internal/word"
+)
+
+// TestCatalogClassification verifies every catalog entry's class with the
+// semantic classifier — the checklist must not lie.
+func TestCatalogClassification(t *testing.T) {
+	for _, e := range patterns.Catalog() {
+		t.Run(e.Name, func(t *testing.T) {
+			f, err := patterns.Build(e.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := core.ClassifyFormula(f, nil)
+			if err != nil {
+				t.Fatalf("classify %v: %v", f, err)
+			}
+			if c.Lowest() != e.Class {
+				t.Errorf("%s (%v): class %v, want %v", e.Name, f, c.Lowest(), e.Class)
+			}
+		})
+	}
+}
+
+// TestCatalogCompiles double-checks Sat(pattern) = L(automaton) on a
+// small corpus for every entry (the patterns must live inside the
+// normalizable fragment).
+func TestCatalogCompiles(t *testing.T) {
+	for _, e := range patterns.Catalog() {
+		t.Run(e.Name, func(t *testing.T) {
+			f, err := patterns.Build(e.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			props := ltl.Props(f)
+			alpha, err := alphabet.Valuations(props)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aut, err := core.CompileFormula(f, props)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxP, maxL := 2, 2
+			if alpha.Size() > 4 {
+				maxP, maxL = 1, 2
+			}
+			for _, w := range gen.Lassos(alpha, maxP, maxL) {
+				want, err := eval.Holds(f, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := aut.Accepts(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s: automaton wrong on %v", e.Name, w)
+				}
+			}
+		})
+	}
+}
+
+// TestPatternSemantics spot-checks characteristic traces per pattern.
+func TestPatternSemantics(t *testing.T) {
+	p := ltl.Prop{Name: "p"}
+	q := ltl.Prop{Name: "q"}
+	r := ltl.Prop{Name: "r"}
+	sym := func(props ...string) alphabet.Symbol {
+		v := alphabet.Valuation{}
+		for _, pr := range props {
+			v[pr] = true
+		}
+		return v.Symbol()
+	}
+	lasso := func(pre []alphabet.Symbol, loop []alphabet.Symbol) word.Lasso {
+		return word.MustLasso(pre, loop)
+	}
+
+	tests := []struct {
+		name string
+		spec patterns.Spec
+		w    word.Lasso
+		want bool
+	}{
+		{
+			"absence/after holds before r",
+			patterns.Spec{Pattern: patterns.Absence, Scope: patterns.After, P: p, R: r},
+			lasso([]alphabet.Symbol{sym("p")}, []alphabet.Symbol{sym()}),
+			true, // p before r is fine
+		},
+		{
+			"absence/after violated after r",
+			patterns.Spec{Pattern: patterns.Absence, Scope: patterns.After, P: p, R: r},
+			lasso([]alphabet.Symbol{sym("r")}, []alphabet.Symbol{sym("p")}),
+			false,
+		},
+		{
+			"existence/before needs p first",
+			patterns.Spec{Pattern: patterns.Existence, Scope: patterns.Before, P: p, R: r},
+			lasso([]alphabet.Symbol{sym("r")}, []alphabet.Symbol{sym("p")}),
+			false, // r arrived without a prior p
+		},
+		{
+			"existence/before satisfied",
+			patterns.Spec{Pattern: patterns.Existence, Scope: patterns.Before, P: p, R: r},
+			lasso([]alphabet.Symbol{sym("p"), sym("r")}, []alphabet.Symbol{sym()}),
+			true,
+		},
+		{
+			"precedence/global blocks early p",
+			patterns.Spec{Pattern: patterns.Precedence, Scope: patterns.Global, P: p, Q: q},
+			lasso([]alphabet.Symbol{sym("p")}, []alphabet.Symbol{sym("q")}),
+			false,
+		},
+		{
+			"precedence/global allows enabled p",
+			patterns.Spec{Pattern: patterns.Precedence, Scope: patterns.Global, P: p, Q: q},
+			lasso([]alphabet.Symbol{sym("q"), sym("p")}, []alphabet.Symbol{sym()}),
+			true,
+		},
+		{
+			"response/after ignores pre-r stimuli",
+			patterns.Spec{Pattern: patterns.Response, Scope: patterns.After, P: p, Q: q, R: r},
+			lasso([]alphabet.Symbol{sym("p")}, []alphabet.Symbol{sym()}),
+			true, // the unanswered p precedes r (which never comes)
+		},
+		{
+			"response/after demands answers",
+			patterns.Spec{Pattern: patterns.Response, Scope: patterns.After, P: p, Q: q, R: r},
+			lasso([]alphabet.Symbol{sym("r"), sym("p")}, []alphabet.Symbol{sym()}),
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f, err := patterns.Build(tt.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eval.Holds(f, tt.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("%v on %v = %v, want %v", f, tt.w, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := ltl.Prop{Name: "p"}
+	future := ltl.Eventually{F: p}
+	bad := []patterns.Spec{
+		{Pattern: patterns.Absence, Scope: patterns.Global},                    // missing P
+		{Pattern: patterns.Response, Scope: patterns.Global, P: p},             // missing Q
+		{Pattern: patterns.Absence, Scope: patterns.Before, P: p},              // missing R
+		{Pattern: patterns.Absence, Scope: patterns.AfterUntil, P: p, R: p},    // missing S
+		{Pattern: patterns.Absence, Scope: patterns.Global, P: future},         // future P
+		{Pattern: patterns.Response, Scope: patterns.Before, P: p, Q: p, R: p}, // unsupported scope
+		{Pattern: patterns.Precedence, Scope: patterns.AfterUntil, P: p, Q: p, R: p, S: p},
+	}
+	for i, spec := range bad {
+		if _, err := patterns.Build(spec); err == nil {
+			t.Errorf("spec %d should fail", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, p := range []patterns.Pattern{patterns.Absence, patterns.Existence, patterns.Universality, patterns.Response, patterns.Precedence} {
+		if p.String() == "" {
+			t.Error("empty pattern name")
+		}
+	}
+	for _, s := range []patterns.Scope{patterns.Global, patterns.Before, patterns.After, patterns.AfterUntil} {
+		if s.String() == "" {
+			t.Error("empty scope name")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package regex
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/dfa"
+)
+
+func symOf(r rune) alphabet.Symbol { return alphabet.Symbol(string(r)) }
+
+// fragment is a Thompson-construction NFA fragment with one start and one
+// accept state.
+type fragment struct {
+	start, accept int
+}
+
+type builder struct {
+	nfa *dfa.NFA
+}
+
+func (b *builder) fresh() int { return b.nfa.AddState() }
+
+func (b *builder) build(n Node) (fragment, error) {
+	switch t := n.(type) {
+	case Empty:
+		return fragment{b.fresh(), b.fresh()}, nil
+	case Eps:
+		s, a := b.fresh(), b.fresh()
+		b.nfa.AddEps(s, a)
+		return fragment{s, a}, nil
+	case Any:
+		s, a := b.fresh(), b.fresh()
+		for _, sym := range b.nfa.Alpha.Symbols() {
+			if err := b.nfa.AddEdge(s, sym, a); err != nil {
+				return fragment{}, err
+			}
+		}
+		return fragment{s, a}, nil
+	case Sym:
+		if !b.nfa.Alpha.Contains(t.S) {
+			return fragment{}, fmt.Errorf("regex: symbol %q not in alphabet %v", t.S, b.nfa.Alpha)
+		}
+		s, a := b.fresh(), b.fresh()
+		if err := b.nfa.AddEdge(s, t.S, a); err != nil {
+			return fragment{}, err
+		}
+		return fragment{s, a}, nil
+	case Concat:
+		f1, err := b.build(t.A)
+		if err != nil {
+			return fragment{}, err
+		}
+		f2, err := b.build(t.B)
+		if err != nil {
+			return fragment{}, err
+		}
+		b.nfa.AddEps(f1.accept, f2.start)
+		return fragment{f1.start, f2.accept}, nil
+	case Union:
+		f1, err := b.build(t.A)
+		if err != nil {
+			return fragment{}, err
+		}
+		f2, err := b.build(t.B)
+		if err != nil {
+			return fragment{}, err
+		}
+		s, a := b.fresh(), b.fresh()
+		b.nfa.AddEps(s, f1.start)
+		b.nfa.AddEps(s, f2.start)
+		b.nfa.AddEps(f1.accept, a)
+		b.nfa.AddEps(f2.accept, a)
+		return fragment{s, a}, nil
+	case Star:
+		f, err := b.build(t.A)
+		if err != nil {
+			return fragment{}, err
+		}
+		s, a := b.fresh(), b.fresh()
+		b.nfa.AddEps(s, a)
+		b.nfa.AddEps(s, f.start)
+		b.nfa.AddEps(f.accept, f.start)
+		b.nfa.AddEps(f.accept, a)
+		return fragment{s, a}, nil
+	case Plus:
+		f, err := b.build(t.A)
+		if err != nil {
+			return fragment{}, err
+		}
+		s, a := b.fresh(), b.fresh()
+		b.nfa.AddEps(s, f.start)
+		b.nfa.AddEps(f.accept, f.start)
+		b.nfa.AddEps(f.accept, a)
+		return fragment{s, a}, nil
+	case Pow:
+		if t.N == 0 {
+			return b.build(Eps{})
+		}
+		cur, err := b.build(t.A)
+		if err != nil {
+			return fragment{}, err
+		}
+		for i := 1; i < t.N; i++ {
+			next, err := b.build(t.A)
+			if err != nil {
+				return fragment{}, err
+			}
+			b.nfa.AddEps(cur.accept, next.start)
+			cur = fragment{cur.start, next.accept}
+		}
+		return cur, nil
+	case Omega:
+		return fragment{}, fmt.Errorf("regex: ω-power %v in finitary expression", n)
+	default:
+		return fragment{}, fmt.Errorf("regex: unknown node %T", n)
+	}
+}
+
+// ToNFA compiles a finitary expression into an ε-NFA over the given
+// alphabet.
+func ToNFA(n Node, alpha *alphabet.Alphabet) (*dfa.NFA, error) {
+	if ContainsOmega(n) {
+		return nil, fmt.Errorf("regex: %v is an ω-expression; use CompileOmega", n)
+	}
+	b := &builder{nfa: dfa.NewNFA(alpha, 0)}
+	f, err := b.build(n)
+	if err != nil {
+		return nil, err
+	}
+	b.nfa.Start = []int{f.start}
+	b.nfa.Accept[f.accept] = true
+	return b.nfa, nil
+}
+
+// Compile compiles a finitary expression into a minimal complete DFA.
+func Compile(n Node, alpha *alphabet.Alphabet) (*dfa.DFA, error) {
+	nfa, err := ToNFA(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return nfa.Determinize().Minimize(), nil
+}
+
+// CompileString parses and compiles a finitary expression.
+func CompileString(expr string, alpha *alphabet.Alphabet) (*dfa.DFA, error) {
+	n, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(n, alpha)
+}
+
+// MustCompileString is CompileString but panics on error; for fixtures.
+func MustCompileString(expr string, alpha *alphabet.Alphabet) *dfa.DFA {
+	d, err := CompileString(expr, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

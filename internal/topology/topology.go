@@ -1,0 +1,115 @@
+// Package topology implements the paper's topological view (§3): the
+// metric space (Σ^ω, μ) with μ(σ,σ′) = 2^−j, and the correspondence
+// between the hierarchy's classes and the lower Borel levels —
+// safety = closed (F), guarantee = open (G), recurrence = G_δ,
+// persistence = F_σ, liveness = dense. For ω-regular properties
+// (deterministic Streett automata) every one of these topological
+// predicates is decidable; this package exposes them in the topological
+// vocabulary, backed by the decision procedures of package core.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/omega"
+	"repro/internal/word"
+)
+
+// IsClosed reports whether the property is a closed set of the metric
+// topology — equivalently, a safety property.
+func IsClosed(a *omega.Automaton) bool { return core.ClassifyAutomaton(a).Safety }
+
+// IsOpen reports whether the property is an open set — equivalently, a
+// guarantee property.
+func IsOpen(a *omega.Automaton) bool { return core.ClassifyAutomaton(a).Guarantee }
+
+// IsClopen reports whether the property is both closed and open.
+func IsClopen(a *omega.Automaton) bool {
+	c := core.ClassifyAutomaton(a)
+	return c.Safety && c.Guarantee
+}
+
+// IsGdelta reports whether the property is a countable intersection of
+// open sets — equivalently, a recurrence property.
+func IsGdelta(a *omega.Automaton) bool { return core.ClassifyAutomaton(a).Recurrence }
+
+// IsFsigma reports whether the property is a countable union of closed
+// sets — equivalently, a persistence property.
+func IsFsigma(a *omega.Automaton) bool { return core.ClassifyAutomaton(a).Persistence }
+
+// IsDense reports whether the property is dense in Σ^ω — equivalently, a
+// liveness property ([AS85]).
+func IsDense(a *omega.Automaton) bool { return a.IsLivenessProperty() }
+
+// Closure returns an automaton for the topological closure cl(Π) — the
+// paper's safety closure A(Pref(Π)).
+func Closure(a *omega.Automaton) *omega.Automaton { return a.SafetyClosure() }
+
+// Interior returns an automaton for the topological interior of the
+// property: the largest open subset, computed directly as the words some
+// prefix of which forces acceptance of every extension (the co-dead
+// region construction; works for any number of pairs). For single-pair
+// automata this agrees with the complement-closure-complement route.
+func Interior(a *omega.Automaton) (*omega.Automaton, error) {
+	return a.Interior(), nil
+}
+
+// Distance is the paper's metric μ on infinite words.
+func Distance(x, y word.Lasso) float64 { return x.Distance(y) }
+
+// InBall reports whether w lies in the open ball of radius 2^−l around
+// center: the two words share a prefix longer than l.
+func InBall(w, center word.Lasso, l int) bool {
+	return w.SharePrefixLongerThan(center, l)
+}
+
+// ConvergesTo checks (up to the given depth) that the sequence converges
+// to the limit: for every L ≤ depth some tail of the sequence shares a
+// prefix longer than L with the limit. For eventually-constant-prefix
+// sequences (all the paper's examples) this is exact once depth exceeds
+// the witnesses.
+func ConvergesTo(seq []word.Lasso, limit word.Lasso, depth int) bool {
+	if len(seq) == 0 {
+		return false
+	}
+	for l := 0; l <= depth; l++ {
+		// Some tail of the sequence must share a prefix longer than l; on
+		// a finite sample that means a non-empty suffix of seq does.
+		k := len(seq) - 1
+		for k >= 0 && seq[k].SharePrefixLongerThan(limit, l) {
+			k--
+		}
+		if k == len(seq)-1 {
+			return false // not even the final element is close enough
+		}
+	}
+	return true
+}
+
+// LimitPointWitness demonstrates the closure characterization: given an
+// automaton and a word in cl(L(a)), it returns, for each k ≤ depth, a
+// word of L(a) sharing a prefix of length > k with w (the sequence
+// converging to w). It fails if w is not in the closure.
+func LimitPointWitness(a *omega.Automaton, w word.Lasso, depth int) ([]word.Lasso, error) {
+	cl := Closure(a)
+	if ok, err := cl.Accepts(w); err != nil || !ok {
+		return nil, fmt.Errorf("topology: %v is not a limit point (err %v)", w, err)
+	}
+	out := make([]word.Lasso, 0, depth+1)
+	for k := 0; k <= depth; k++ {
+		// Drive the automaton along w for k+1 steps, then extend to an
+		// accepted word from the reached state.
+		q, err := a.RunPrefix(w.FinitePrefix(k + 1))
+		if err != nil {
+			return nil, err
+		}
+		tail, ok := a.WithStart(q).WitnessLasso()
+		if !ok {
+			return nil, fmt.Errorf("topology: prefix of length %d left Pref(Π)", k+1)
+		}
+		prefix := append(w.FinitePrefix(k+1), tail.PrefixPart()...)
+		out = append(out, word.MustLasso(prefix, tail.LoopPart()))
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package topology_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/lang"
+	"repro/internal/omega"
+	"repro/internal/topology"
+	"repro/internal/word"
+)
+
+var ab = alphabet.MustLetters("ab")
+
+func TestBorelCorrespondence(t *testing.T) {
+	tests := []struct {
+		name                         string
+		a                            *omega.Automaton
+		closed, open, gdelta, fsigma bool
+		dense                        bool
+	}{
+		{"A(a+b*) closed", lang.A(lang.MustRegex("a^+b*", ab)), true, false, true, true, false},
+		{"E(Σ*b) open dense", lang.E(lang.MustRegex(".*b", ab)), false, true, true, true, true},
+		{"R(Σ*b) Gδ", lang.R(lang.MustRegex(".*b", ab)), false, false, true, false, true},
+		{"P(Σ*b) Fσ", lang.P(lang.MustRegex(".*b", ab)), false, false, false, true, true},
+		{"Σ^ω clopen", omega.Universal(ab), true, true, true, true, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := topology.IsClosed(tt.a); got != tt.closed {
+				t.Errorf("IsClosed = %v, want %v", got, tt.closed)
+			}
+			if got := topology.IsOpen(tt.a); got != tt.open {
+				t.Errorf("IsOpen = %v, want %v", got, tt.open)
+			}
+			if got := topology.IsGdelta(tt.a); got != tt.gdelta {
+				t.Errorf("IsGdelta = %v, want %v", got, tt.gdelta)
+			}
+			if got := topology.IsFsigma(tt.a); got != tt.fsigma {
+				t.Errorf("IsFsigma = %v, want %v", got, tt.fsigma)
+			}
+			if got := topology.IsDense(tt.a); got != tt.dense {
+				t.Errorf("IsDense = %v, want %v", got, tt.dense)
+			}
+		})
+	}
+}
+
+func TestIsClopen(t *testing.T) {
+	if !topology.IsClopen(lang.E(lang.MustRegex("a^+b*", ab))) {
+		t.Error("aΣ^ω should be clopen")
+	}
+	if topology.IsClopen(lang.E(lang.MustRegex(".*b", ab))) {
+		t.Error("◇b should not be clopen")
+	}
+}
+
+func TestClosurePaperExample(t *testing.T) {
+	// cl(a⁺b^ω) = a⁺b^ω + a^ω: the paper's §3 example. a⁺b^ω = A-side of…
+	// build as P-automaton: words with prefix a⁺ then only b's — use
+	// E/A combination: the property is safety-free; build via automaton
+	// for "a⁺b^ω" = A(a⁺b*) ∩ P(Σ*b).
+	aPlusBStar := lang.A(lang.MustRegex("a^+b*", ab))
+	pb := lang.P(lang.MustRegex(".*b", ab))
+	prop, err := aPlusBStar.Intersect(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := topology.Closure(prop)
+	// cl adds a^ω: check membership of a^ω, ab^ω, and rejection of b^ω.
+	cases := []struct {
+		w    word.Lasso
+		want bool
+	}{
+		{word.MustLassoStrings("", "a"), true},
+		{word.MustLassoStrings("a", "b"), true},
+		{word.MustLassoStrings("aaa", "b"), true},
+		{word.MustLassoStrings("", "b"), false},
+		{word.MustLassoStrings("ab", "a"), false},
+	}
+	for _, tt := range cases {
+		got, err := cl.Accepts(tt.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("cl(a+b^ω) on %v = %v, want %v", tt.w, got, tt.want)
+		}
+	}
+	// a^ω is in the closure but not the property: the property is not
+	// closed.
+	if topology.IsClosed(prop) {
+		t.Error("a⁺b^ω should not be closed")
+	}
+}
+
+func TestInterior(t *testing.T) {
+	// Interior of the closed, non-open set A(a⁺b*) = a^ω + a⁺b^ω: the
+	// interior is the set of words with a neighborhood inside — here the
+	// words a⁺b⁺... any word in a⁺b^ω has the neighborhood fixed by its
+	// prefix a^n b: all extensions of a^n b that remain in the set must
+	// be b^ω — not a full ball, so the interior is empty?? No: a ball
+	// around σ = a^n b^ω of radius 2^-(n+1) contains a^n b a Σ^ω ∉ Π. So
+	// int(Π) = ∅... except balls around a^ω also leak (a^n b a …). So
+	// int = ∅.
+	in, err := topology.Interior(lang.A(lang.MustRegex("a^+b*", ab)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsEmpty() {
+		w, _ := in.WitnessLasso()
+		t.Errorf("interior should be empty, got witness %v", w)
+	}
+
+	// Interior of an open set is itself.
+	e := lang.E(lang.MustRegex(".*b", ab))
+	in2, err := topology.Interior(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, ce, err := in2.Equivalent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("interior of open set differs, counterexample %v", ce)
+	}
+}
+
+func TestInteriorMultiPair(t *testing.T) {
+	// The general interior construction handles multi-pair automata:
+	// int(□◇a ∧ □◇b) = ∅ (no finite prefix forces infinitely many of
+	// anything).
+	r1 := lang.R(lang.MustRegex(".*a", ab))
+	r2 := lang.R(lang.MustRegex(".*b", ab))
+	prod, err := r1.Intersect(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := topology.Interior(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsEmpty() {
+		t.Error("interior of the recurrence conjunction should be empty")
+	}
+}
+
+func TestDistanceExample(t *testing.T) {
+	// μ(a^n b^ω, a^2n b^ω) = 2^−n (§3).
+	for n := 1; n <= 8; n++ {
+		x := word.MustLasso(word.FiniteFromString("a").Repeat(n), word.FiniteFromString("b"))
+		y := word.MustLasso(word.FiniteFromString("a").Repeat(2*n), word.FiniteFromString("b"))
+		want := math.Pow(2, -float64(n))
+		if got := topology.Distance(x, y); got != want {
+			t.Errorf("n=%d: μ = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestInBall(t *testing.T) {
+	center := word.MustLassoStrings("", "a")
+	if !topology.InBall(word.MustLassoStrings("aaa", "b"), center, 2) {
+		t.Error("aaab^ω should be within 2^-2 of a^ω")
+	}
+	if topology.InBall(word.MustLassoStrings("a", "b"), center, 2) {
+		t.Error("ab^ω is too far from a^ω")
+	}
+}
+
+func TestConvergesTo(t *testing.T) {
+	// The paper's example: b^ω, ab^ω, aab^ω, … → a^ω.
+	var seq []word.Lasso
+	for n := 0; n < 12; n++ {
+		seq = append(seq, word.MustLasso(word.FiniteFromString("a").Repeat(n), word.FiniteFromString("b")))
+	}
+	limit := word.MustLassoStrings("", "a")
+	if !topology.ConvergesTo(seq, limit, 10) {
+		t.Error("a^n b^ω should converge to a^ω")
+	}
+	if topology.ConvergesTo(seq, word.MustLassoStrings("", "b"), 3) {
+		t.Error("sequence should not converge to b^ω")
+	}
+}
+
+func TestLimitPointWitness(t *testing.T) {
+	// a^ω is a limit point of a⁺b^ω (not a member): extract the
+	// converging sequence.
+	aPlusBStar := lang.A(lang.MustRegex("a^+b*", ab))
+	pb := lang.P(lang.MustRegex(".*b", ab))
+	prop, err := aPlusBStar.Intersect(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := word.MustLassoStrings("", "a")
+	seq, err := topology.LimitPointWitness(prop, limit, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range seq {
+		ok, err := prop.Accepts(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("witness %d (%v) not in the property", k, w)
+		}
+		if !w.SharePrefixLongerThan(limit, k) {
+			t.Errorf("witness %d (%v) does not approximate the limit", k, w)
+		}
+	}
+	if !topology.ConvergesTo(seq, limit, 6) {
+		t.Error("witness sequence should converge to the limit")
+	}
+
+	// A word outside the closure has no witness.
+	if _, err := topology.LimitPointWitness(prop, word.MustLassoStrings("", "b"), 3); err == nil {
+		t.Error("b^ω is not a limit point of a⁺b^ω")
+	}
+}

@@ -1,0 +1,199 @@
+package ts
+
+import (
+	"fmt"
+)
+
+// ElevatorPolicy selects the controller's movement strategy.
+type ElevatorPolicy int
+
+// The two controllers.
+const (
+	// Nearest moves toward the closest pending call (ties upward). It
+	// looks sensible but admits starvation: a floor whose call is
+	// always farther than freshly arriving calls is never served.
+	Nearest ElevatorPolicy = iota + 1
+	// Scan is the classic elevator algorithm: keep direction while calls
+	// remain ahead, reverse otherwise. Every call is eventually served.
+	Scan
+)
+
+func (p ElevatorPolicy) String() string {
+	switch p {
+	case Nearest:
+		return "nearest"
+	case Scan:
+		return "scan"
+	default:
+		return fmt.Sprintf("ElevatorPolicy(%d)", int(p))
+	}
+}
+
+// Elevator builds a three-floor elevator controller as a fair transition
+// system — the paper's "programs controlling industrial plants" flavour
+// of reactive system. The cabin has a position (floor 0..2) and a door;
+// the environment presses call buttons (unfair transitions — the
+// environment owes no promises); the controller serves the current
+// floor's call, closes the door, and moves according to the policy
+// (weakly fair transitions).
+//
+// Propositions: at0 at1 at2, open, call0 call1 call2.
+func Elevator(policy ElevatorPolicy) (*System, error) {
+	const floors = 3
+	type conf struct {
+		pos   int
+		open  bool
+		dir   int // +1/-1; fixed +1 for Nearest (unused there)
+		calls [floors]bool
+	}
+	name := func(c conf) string {
+		doors := "C"
+		if c.open {
+			doors = "O"
+		}
+		dir := "^"
+		if c.dir < 0 {
+			dir = "v"
+		}
+		calls := ""
+		for f := 0; f < floors; f++ {
+			if c.calls[f] {
+				calls += fmt.Sprintf("%d", f)
+			}
+		}
+		if calls == "" {
+			calls = "-"
+		}
+		if policy == Nearest {
+			dir = ""
+		}
+		return fmt.Sprintf("f%d%s%s[%s]", c.pos, doors, dir, calls)
+	}
+	props := func(c conf) []string {
+		out := []string{fmt.Sprintf("at%d", c.pos)}
+		if c.open {
+			out = append(out, "open")
+		}
+		for f := 0; f < floors; f++ {
+			if c.calls[f] {
+				out = append(out, fmt.Sprintf("call%d", f))
+			}
+		}
+		return out
+	}
+
+	b := NewBuilder()
+	state := map[string]int{}
+	var confs []conf
+	dirs := []int{1}
+	if policy == Scan {
+		dirs = []int{1, -1}
+	}
+	for pos := 0; pos < floors; pos++ {
+		for _, open := range []bool{false, true} {
+			for _, dir := range dirs {
+				for mask := 0; mask < 1<<floors; mask++ {
+					c := conf{pos: pos, open: open, dir: dir}
+					for f := 0; f < floors; f++ {
+						c.calls[f] = mask&(1<<f) != 0
+					}
+					if _, dup := state[name(c)]; dup {
+						continue
+					}
+					state[name(c)] = b.State(name(c), props(c)...)
+					confs = append(confs, c)
+				}
+			}
+		}
+	}
+	get := func(c conf) int {
+		i, ok := state[name(c)]
+		if !ok {
+			panic("ts: elevator configuration unmodeled: " + name(c))
+		}
+		return i
+	}
+
+	press := make([]*Transition, floors)
+	for f := 0; f < floors; f++ {
+		press[f] = b.Transition(fmt.Sprintf("press%d", f), Unfair)
+	}
+	serve := b.Transition("serve", Weak)
+	closeDoor := b.Transition("close", Weak)
+	move := b.Transition("move", Weak)
+
+	anyCall := func(c conf) bool {
+		for f := 0; f < floors; f++ {
+			if c.calls[f] {
+				return true
+			}
+		}
+		return false
+	}
+	callAhead := func(c conf, dir int) bool {
+		for f := c.pos + dir; f >= 0 && f < floors; f += dir {
+			if c.calls[f] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, c := range confs {
+		from := get(c)
+		// Environment: press a button. A press at the cabin's current
+		// floor is absorbed (the cabin is already there) — without this,
+		// an adversary mashing the current floor's button starves every
+		// other call under any policy.
+		for f := 0; f < floors; f++ {
+			if c.calls[f] || c.pos == f {
+				continue
+			}
+			next := c
+			next.calls[f] = true
+			press[f].Step(from, get(next))
+		}
+		// Controller.
+		switch {
+		case !c.open && c.calls[c.pos]:
+			next := c
+			next.open = true
+			next.calls[c.pos] = false
+			serve.Step(from, get(next))
+		case c.open:
+			next := c
+			next.open = false
+			closeDoor.Step(from, get(next))
+		case anyCall(c): // door closed, no call here: move per policy
+			next := c
+			switch policy {
+			case Nearest:
+				best := -1
+				for dist := 1; dist < floors && best < 0; dist++ {
+					if c.pos+dist < floors && c.calls[c.pos+dist] {
+						best = c.pos + dist // tie goes upward
+					} else if c.pos-dist >= 0 && c.calls[c.pos-dist] {
+						best = c.pos - dist
+					}
+				}
+				if best > c.pos {
+					next.pos++
+				} else {
+					next.pos--
+				}
+			case Scan:
+				dir := c.dir
+				if !callAhead(c, dir) {
+					dir = -dir
+				}
+				next.dir = dir
+				next.pos += dir
+			}
+			move.Step(from, get(next))
+		}
+	}
+	start := conf{pos: 0, dir: 1}
+	b.SetInit(get(start))
+	b.AddIdle()
+	return b.Build()
+}

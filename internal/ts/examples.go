@@ -1,0 +1,194 @@
+package ts
+
+import "fmt"
+
+// This file provides the paper's running example programs as fair
+// transition systems: Peterson's mutual-exclusion algorithm, a
+// semaphore-based mutex (which separates weak from strong fairness), and
+// the trivial do-nothing "solution" the introduction warns about.
+
+// Peterson builds Peterson's two-process mutual exclusion algorithm.
+// Process locations are N (noncritical), W (trying/waiting), C
+// (critical); flag_i is encoded by pc_i ≠ N, and turn is explicit.
+// Propositions: n1,w1,c1,n2,w2,c2,turn1,turn2.
+//
+// request_i is unfair (a process may stay noncritical forever);
+// enter_i and exit_i are weakly fair. Under these assumptions Peterson's
+// algorithm satisfies both the safety property □¬(c1∧c2) and the
+// accessibility (response) properties □(w_i → ◇c_i).
+func Peterson() (*System, error) {
+	b := NewBuilder()
+	pcs := []string{"N", "W", "C"}
+	name := func(pc1, pc2 string, turn int) string {
+		return fmt.Sprintf("%s%s t%d", pc1, pc2, turn)
+	}
+	state := map[string]int{}
+	for _, p1 := range pcs {
+		for _, p2 := range pcs {
+			for turn := 1; turn <= 2; turn++ {
+				var props []string
+				switch p1 {
+				case "N":
+					props = append(props, "n1")
+				case "W":
+					props = append(props, "w1")
+				case "C":
+					props = append(props, "c1")
+				}
+				switch p2 {
+				case "N":
+					props = append(props, "n2")
+				case "W":
+					props = append(props, "w2")
+				case "C":
+					props = append(props, "c2")
+				}
+				props = append(props, fmt.Sprintf("turn%d", turn))
+				state[name(p1, p2, turn)] = b.State(name(p1, p2, turn), props...)
+			}
+		}
+	}
+	req1 := b.Transition("request1", Unfair)
+	req2 := b.Transition("request2", Unfair)
+	ent1 := b.Transition("enter1", Weak)
+	ent2 := b.Transition("enter2", Weak)
+	ex1 := b.Transition("exit1", Weak)
+	ex2 := b.Transition("exit2", Weak)
+	for _, p2 := range pcs {
+		for turn := 1; turn <= 2; turn++ {
+			// request1: N→W, turn := 2.
+			req1.Step(state[name("N", p2, turn)], state[name("W", p2, 2)])
+			// enter1: W→C enabled iff pc2 = N or turn = 1.
+			if p2 == "N" || turn == 1 {
+				ent1.Step(state[name("W", p2, turn)], state[name("C", p2, turn)])
+			}
+			// exit1: C→N.
+			ex1.Step(state[name("C", p2, turn)], state[name("N", p2, turn)])
+		}
+	}
+	for _, p1 := range pcs {
+		for turn := 1; turn <= 2; turn++ {
+			req2.Step(state[name(p1, "N", turn)], state[name(p1, "W", 1)])
+			if p1 == "N" || turn == 2 {
+				ent2.Step(state[name(p1, "W", turn)], state[name(p1, "C", turn)])
+			}
+			ex2.Step(state[name(p1, "C", turn)], state[name(p1, "N", turn)])
+		}
+	}
+	b.SetInit(state[name("N", "N", 1)])
+	b.AddIdle()
+	return b.Build()
+}
+
+// Semaphore builds a two-process semaphore mutex. acquireFair is the
+// fairness attached to the acquire transitions: with Weak fairness a
+// waiting process can starve (the semaphore is not continuously
+// available), with Strong fairness accessibility holds — the paper's
+// justice/compassion separation.
+// Propositions: n1,w1,c1,n2,w2,c2,sem (sem true = free).
+func Semaphore(acquireFair Fairness) (*System, error) {
+	b := NewBuilder()
+	pcs := []string{"N", "W", "C"}
+	name := func(p1, p2 string, sem int) string {
+		return fmt.Sprintf("%s%s s%d", p1, p2, sem)
+	}
+	state := map[string]int{}
+	for _, p1 := range pcs {
+		for _, p2 := range pcs {
+			for sem := 0; sem <= 1; sem++ {
+				if sem == 1 && (p1 == "C" || p2 == "C") {
+					continue // the semaphore is held inside the critical section
+				}
+				if sem == 0 && p1 != "C" && p2 != "C" {
+					continue // nobody holds it
+				}
+				var props []string
+				switch p1 {
+				case "N":
+					props = append(props, "n1")
+				case "W":
+					props = append(props, "w1")
+				case "C":
+					props = append(props, "c1")
+				}
+				switch p2 {
+				case "N":
+					props = append(props, "n2")
+				case "W":
+					props = append(props, "w2")
+				case "C":
+					props = append(props, "c2")
+				}
+				if sem == 1 {
+					props = append(props, "sem")
+				}
+				state[name(p1, p2, sem)] = b.State(name(p1, p2, sem), props...)
+			}
+		}
+	}
+	get := func(p1, p2 string, sem int) int {
+		i, ok := state[name(p1, p2, sem)]
+		if !ok {
+			panic("ts: semaphore state " + name(p1, p2, sem) + " unmodeled")
+		}
+		return i
+	}
+	req1 := b.Transition("request1", Unfair)
+	req2 := b.Transition("request2", Unfair)
+	acq1 := b.Transition("acquire1", acquireFair)
+	acq2 := b.Transition("acquire2", acquireFair)
+	rel1 := b.Transition("release1", Weak)
+	rel2 := b.Transition("release2", Weak)
+	for _, p2 := range pcs {
+		for sem := 0; sem <= 1; sem++ {
+			if _, ok := state[name("N", p2, sem)]; ok {
+				if _, ok2 := state[name("W", p2, sem)]; ok2 {
+					req1.Step(get("N", p2, sem), get("W", p2, sem))
+				}
+			}
+			if sem == 1 && p2 != "C" {
+				acq1.Step(get("W", p2, 1), get("C", p2, 0))
+			}
+		}
+		if p2 != "C" {
+			rel1.Step(get("C", p2, 0), get("N", p2, 1))
+		}
+	}
+	for _, p1 := range pcs {
+		for sem := 0; sem <= 1; sem++ {
+			if _, ok := state[name(p1, "N", sem)]; ok {
+				if _, ok2 := state[name(p1, "W", sem)]; ok2 {
+					req2.Step(get(p1, "N", sem), get(p1, "W", sem))
+				}
+			}
+			if sem == 1 && p1 != "C" {
+				acq2.Step(get(p1, "W", 1), get(p1, "C", 0))
+			}
+		}
+		if p1 != "C" {
+			rel2.Step(get(p1, "C", 0), get(p1, "N", 1))
+		}
+	}
+	b.SetInit(get("N", "N", 1))
+	b.AddIdle()
+	return b.Build()
+}
+
+// TrivialMutex is the introduction's cautionary "solution": no process
+// ever enters its critical section. It satisfies mutual exclusion but
+// violates accessibility — the underspecification the liveness part of a
+// specification exists to rule out.
+func TrivialMutex() (*System, error) {
+	b := NewBuilder()
+	nn := b.State("NN", "n1", "n2")
+	wn := b.State("WN", "w1", "n2")
+	nw := b.State("NW", "n1", "w2")
+	ww := b.State("WW", "w1", "w2")
+	req1 := b.Transition("request1", Unfair)
+	req1.Step(nn, wn).Step(nw, ww)
+	req2 := b.Transition("request2", Unfair)
+	req2.Step(nn, nw).Step(wn, ww)
+	b.SetInit(nn)
+	b.AddIdle()
+	return b.Build()
+}

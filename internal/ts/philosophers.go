@@ -1,0 +1,167 @@
+package ts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiningPhilosophers builds the n-philosopher ring (n ≥ 2). Philosopher i
+// cycles thinking → hungry → holding first fork → eating → thinking;
+// fork i sits between philosophers i and i+1 (mod n).
+//
+// With symmetric=true every philosopher picks the left fork first — the
+// classic protocol whose all-hold-left configuration deadlocks (only the
+// idle transition remains, so the liveness property "a hungry philosopher
+// eventually eats" fails). With symmetric=false philosopher 0 picks the
+// right fork first, which breaks the cyclic wait and removes the
+// deadlock.
+//
+// The pickup transitions carry fairness `pickFair` (the interesting
+// regimes are Weak vs Strong); hungry→thinking requests are unfair and
+// eating always terminates (weakly fair done).
+//
+// Propositions per philosopher i: t<i>, h<i>, l<i> (holding first fork),
+// e<i> (eating).
+func DiningPhilosophers(n int, symmetric bool, pickFair Fairness) (*System, error) {
+	if n < 2 || n > 5 {
+		return nil, fmt.Errorf("ts: philosophers n=%d out of supported range [2,5]", n)
+	}
+	const (
+		pcT = iota // thinking
+		pcH        // hungry
+		pcL        // holding first fork
+		pcE        // eating
+	)
+	letters := []string{"t", "h", "l", "e"}
+
+	// forkOf returns the forks claimed by philosopher i in program
+	// location pc. Left fork of philosopher i is fork i, right fork is
+	// fork (i+1) mod n; the "first" fork depends on the protocol.
+	forkOf := func(i, pc int) []int {
+		left, right := i, (i+1)%n
+		firstFork, secondFork := left, right
+		if !symmetric && i == 0 {
+			firstFork, secondFork = right, left
+		}
+		switch pc {
+		case pcL:
+			return []int{firstFork}
+		case pcE:
+			return []int{firstFork, secondFork}
+		default:
+			return nil
+		}
+	}
+
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 4
+	}
+	decode := func(code int) []int {
+		pcs := make([]int, n)
+		for i := 0; i < n; i++ {
+			pcs[i] = code % 4
+			code /= 4
+		}
+		return pcs
+	}
+	encode := func(pcs []int) int {
+		code := 0
+		for i := n - 1; i >= 0; i-- {
+			code = code*4 + pcs[i]
+		}
+		return code
+	}
+	valid := func(pcs []int) bool {
+		owner := make([]int, n)
+		for f := range owner {
+			owner[f] = -1
+		}
+		for i := 0; i < n; i++ {
+			for _, f := range forkOf(i, pcs[i]) {
+				if owner[f] >= 0 {
+					return false
+				}
+				owner[f] = i
+			}
+		}
+		return true
+	}
+	forkFree := func(pcs []int, f int) bool {
+		for i := 0; i < n; i++ {
+			for _, g := range forkOf(i, pcs[i]) {
+				if g == f {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	b := NewBuilder()
+	name := func(pcs []int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(letters[pcs[i]])
+		}
+		return sb.String()
+	}
+	stateOf := map[int]int{}
+	for code := 0; code < total; code++ {
+		pcs := decode(code)
+		if !valid(pcs) {
+			continue
+		}
+		var props []string
+		for i := 0; i < n; i++ {
+			props = append(props, fmt.Sprintf("%s%d", letters[pcs[i]], i))
+		}
+		stateOf[code] = b.State(name(pcs), props...)
+	}
+
+	hungry := make([]*Transition, n)
+	pick1 := make([]*Transition, n)
+	pick2 := make([]*Transition, n)
+	done := make([]*Transition, n)
+	for i := 0; i < n; i++ {
+		hungry[i] = b.Transition(fmt.Sprintf("hungry%d", i), Unfair)
+		pick1[i] = b.Transition(fmt.Sprintf("pick1_%d", i), pickFair)
+		pick2[i] = b.Transition(fmt.Sprintf("pick2_%d", i), pickFair)
+		done[i] = b.Transition(fmt.Sprintf("done%d", i), Weak)
+	}
+	for code, from := range stateOf {
+		pcs := decode(code)
+		for i := 0; i < n; i++ {
+			left, right := i, (i+1)%n
+			firstFork, secondFork := left, right
+			if !symmetric && i == 0 {
+				firstFork, secondFork = right, left
+			}
+			switch pcs[i] {
+			case pcT:
+				next := append([]int(nil), pcs...)
+				next[i] = pcH
+				hungry[i].Step(from, stateOf[encode(next)])
+			case pcH:
+				if forkFree(pcs, firstFork) {
+					next := append([]int(nil), pcs...)
+					next[i] = pcL
+					pick1[i].Step(from, stateOf[encode(next)])
+				}
+			case pcL:
+				if forkFree(pcs, secondFork) {
+					next := append([]int(nil), pcs...)
+					next[i] = pcE
+					pick2[i].Step(from, stateOf[encode(next)])
+				}
+			case pcE:
+				next := append([]int(nil), pcs...)
+				next[i] = pcT
+				done[i].Step(from, stateOf[encode(next)])
+			}
+		}
+	}
+	b.SetInit(stateOf[0]) // everyone thinking
+	b.AddIdle()
+	return b.Build()
+}

@@ -1,0 +1,328 @@
+// Package word implements the two kinds of words the paper works with:
+// finite words σ ∈ Σ⁺ (finitary computations) and infinite words σ ∈ Σ^ω.
+//
+// Infinite words are represented as ultimately periodic "lasso" words
+// u·v^ω. Every ω-regular property — and hence every temporal-logic
+// definable property — is completely determined by the lasso words it
+// contains, so this representation is a faithful effective substitute for
+// Σ^ω in all of the paper's constructions.
+package word
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alphabet"
+)
+
+// Finite is a finite word over some alphabet. The empty word is allowed as a
+// value but most of the paper's operators range over Σ⁺ (non-empty words).
+type Finite []alphabet.Symbol
+
+// FiniteFromString builds a finite word of single-character symbols,
+// e.g. "aab" → a·a·b.
+func FiniteFromString(s string) Finite {
+	w := make(Finite, 0, len(s))
+	for _, r := range s {
+		w = append(w, alphabet.Symbol(string(r)))
+	}
+	return w
+}
+
+// Len returns the length of the word.
+func (w Finite) Len() int { return len(w) }
+
+// At returns the i'th symbol (0-based).
+func (w Finite) At(i int) alphabet.Symbol { return w[i] }
+
+// Prefix returns the prefix of length n (a copy).
+func (w Finite) Prefix(n int) Finite {
+	p := make(Finite, n)
+	copy(p, w[:n])
+	return p
+}
+
+// Concat returns the concatenation w·x as a fresh word.
+func (w Finite) Concat(x Finite) Finite {
+	out := make(Finite, 0, len(w)+len(x))
+	out = append(out, w...)
+	out = append(out, x...)
+	return out
+}
+
+// Repeat returns w^n.
+func (w Finite) Repeat(n int) Finite {
+	out := make(Finite, 0, len(w)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, w...)
+	}
+	return out
+}
+
+// Equal reports whether two finite words are identical.
+func (w Finite) Equal(x Finite) bool {
+	if len(w) != len(x) {
+		return false
+	}
+	for i := range w {
+		if w[i] != x[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether w ⪯ x (w is a, possibly equal, prefix of x).
+func (w Finite) IsPrefixOf(x Finite) bool {
+	if len(w) > len(x) {
+		return false
+	}
+	for i := range w {
+		if w[i] != x[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperPrefixOf reports whether w ≺ x.
+func (w Finite) IsProperPrefixOf(x Finite) bool {
+	return len(w) < len(x) && w.IsPrefixOf(x)
+}
+
+// String renders the word by concatenating its symbols, separating
+// multi-character symbols with '·'.
+func (w Finite) String() string {
+	if len(w) == 0 {
+		return "ε"
+	}
+	multi := false
+	for _, s := range w {
+		if len(s) != 1 {
+			multi = true
+			break
+		}
+	}
+	var b strings.Builder
+	for i, s := range w {
+		if multi && i > 0 {
+			b.WriteByte(0xC2) // '·' UTF-8
+			b.WriteByte(0xB7)
+		}
+		b.WriteString(string(s))
+	}
+	return b.String()
+}
+
+// Lasso is an ultimately periodic infinite word u·v^ω, with u possibly empty
+// and v non-empty.
+type Lasso struct {
+	prefix Finite
+	loop   Finite
+}
+
+// NewLasso builds the infinite word prefix·loop^ω. The loop must be
+// non-empty.
+func NewLasso(prefix, loop Finite) (Lasso, error) {
+	if len(loop) == 0 {
+		return Lasso{}, fmt.Errorf("word: lasso loop must be non-empty")
+	}
+	p := make(Finite, len(prefix))
+	copy(p, prefix)
+	l := make(Finite, len(loop))
+	copy(l, loop)
+	return Lasso{prefix: p, loop: l}, nil
+}
+
+// MustLasso is NewLasso but panics on error; for fixtures.
+func MustLasso(prefix, loop Finite) Lasso {
+	w, err := NewLasso(prefix, loop)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// LassoFromStrings builds a lasso from single-character-symbol strings,
+// e.g. LassoFromStrings("a", "ab") = a·(ab)^ω.
+func LassoFromStrings(prefix, loop string) (Lasso, error) {
+	return NewLasso(FiniteFromString(prefix), FiniteFromString(loop))
+}
+
+// MustLassoStrings is LassoFromStrings but panics on error; for fixtures.
+func MustLassoStrings(prefix, loop string) Lasso {
+	w, err := LassoFromStrings(prefix, loop)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// PrefixPart returns a copy of the non-repeating part u.
+func (w Lasso) PrefixPart() Finite {
+	out := make(Finite, len(w.prefix))
+	copy(out, w.prefix)
+	return out
+}
+
+// LoopPart returns a copy of the repeating part v.
+func (w Lasso) LoopPart() Finite {
+	out := make(Finite, len(w.loop))
+	copy(out, w.loop)
+	return out
+}
+
+// PrefixLen returns |u|.
+func (w Lasso) PrefixLen() int { return len(w.prefix) }
+
+// LoopLen returns |v|.
+func (w Lasso) LoopLen() int { return len(w.loop) }
+
+// At returns σ[i], the i'th state of the infinite word (0-based).
+func (w Lasso) At(i int) alphabet.Symbol {
+	if i < len(w.prefix) {
+		return w.prefix[i]
+	}
+	return w.loop[(i-len(w.prefix))%len(w.loop)]
+}
+
+// FinitePrefix returns the prefix of length n as a finite word.
+func (w Lasso) FinitePrefix(n int) Finite {
+	out := make(Finite, n)
+	for i := 0; i < n; i++ {
+		out[i] = w.At(i)
+	}
+	return out
+}
+
+// Suffix returns the infinite word σ[i..], itself a lasso.
+func (w Lasso) Suffix(i int) Lasso {
+	if i <= len(w.prefix) {
+		return MustLasso(w.prefix[i:], w.loop)
+	}
+	k := (i - len(w.prefix)) % len(w.loop)
+	rotated := append(append(Finite{}, w.loop[k:]...), w.loop[:k]...)
+	return MustLasso(nil, rotated)
+}
+
+// Canonical returns the unique normal form of the lasso: the loop is reduced
+// to its primitive (aperiodic) root, and the prefix is rolled back as far as
+// possible (while its last symbol matches the last loop symbol the loop is
+// rotated into the prefix). Two lassos denote the same infinite word iff
+// their canonical forms are structurally equal.
+func (w Lasso) Canonical() Lasso {
+	loop := append(Finite{}, w.loop...)
+	prefix := append(Finite{}, w.prefix...)
+
+	// Reduce the loop to its primitive root: the smallest d dividing |v|
+	// with v = r^(|v|/d) for r = v[:d].
+	n := len(loop)
+	for d := 1; d <= n/2; d++ {
+		if n%d != 0 {
+			continue
+		}
+		periodic := true
+		for i := d; i < n; i++ {
+			if loop[i] != loop[i-d] {
+				periodic = false
+				break
+			}
+		}
+		if periodic {
+			loop = loop[:d]
+			n = d
+			break
+		}
+	}
+
+	// Roll the prefix back into the loop: u·a (x·a)^ω = u (a·x)^ω.
+	for len(prefix) > 0 && prefix[len(prefix)-1] == loop[len(loop)-1] {
+		last := loop[len(loop)-1]
+		rotated := make(Finite, 0, len(loop))
+		rotated = append(rotated, last)
+		rotated = append(rotated, loop[:len(loop)-1]...)
+		loop = rotated
+		prefix = prefix[:len(prefix)-1]
+	}
+	return Lasso{prefix: prefix, loop: loop}
+}
+
+// Equal reports whether two lassos denote the same infinite word.
+func (w Lasso) Equal(x Lasso) bool {
+	cw, cx := w.Canonical(), x.Canonical()
+	return cw.prefix.Equal(cx.prefix) && cw.loop.Equal(cx.loop)
+}
+
+// FirstDifference returns the least index j with w[j] ≠ x[j], or -1 if the
+// words are identical.
+func (w Lasso) FirstDifference(x Lasso) int {
+	bound := w.agreementBound(x)
+	for i := 0; i < bound; i++ {
+		if w.At(i) != x.At(i) {
+			return i
+		}
+	}
+	if w.Equal(x) {
+		return -1
+	}
+	// The words differ but agree on the sound bound: impossible by the
+	// periodicity argument below, kept as a defensive branch.
+	return bound
+}
+
+// agreementBound is a length L such that two lassos agreeing on their first
+// L positions are equal: max prefix length plus lcm of the loop lengths.
+func (w Lasso) agreementBound(x Lasso) int {
+	p := len(w.prefix)
+	if len(x.prefix) > p {
+		p = len(x.prefix)
+	}
+	return p + lcm(len(w.loop), len(x.loop))
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// Distance is the paper's metric μ(σ,σ′): 0 if the words are identical,
+// otherwise 2^−j where j is the first index on which they differ.
+func (w Lasso) Distance(x Lasso) float64 {
+	j := w.FirstDifference(x)
+	if j < 0 {
+		return 0
+	}
+	if j > 1023 {
+		return 0 // below float64 subnormal resolution; treat as converged
+	}
+	out := 1.0
+	for i := 0; i < j; i++ {
+		out /= 2
+	}
+	return out
+}
+
+// SharePrefixLongerThan reports whether w and x share a common prefix of
+// length strictly greater than l — the convergence primitive used in the
+// paper's topological definitions.
+func (w Lasso) SharePrefixLongerThan(x Lasso, l int) bool {
+	for i := 0; i <= l; i++ {
+		if w.At(i) != x.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the lasso as u(v)^ω.
+func (w Lasso) String() string {
+	u := ""
+	if len(w.prefix) > 0 {
+		u = w.prefix.String()
+	}
+	return u + "(" + w.loop.String() + ")^ω"
+}

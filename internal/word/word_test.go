@@ -1,0 +1,251 @@
+package word
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+)
+
+func TestFiniteBasics(t *testing.T) {
+	w := FiniteFromString("aab")
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if w.At(2) != "b" {
+		t.Errorf("At(2) = %q", w.At(2))
+	}
+	if got := w.Prefix(2).String(); got != "aa" {
+		t.Errorf("Prefix(2) = %q", got)
+	}
+	if got := w.Concat(FiniteFromString("c")).String(); got != "aabc" {
+		t.Errorf("Concat = %q", got)
+	}
+	if got := FiniteFromString("ab").Repeat(3).String(); got != "ababab" {
+		t.Errorf("Repeat = %q", got)
+	}
+	if Finite(nil).String() != "ε" {
+		t.Error("empty word should render as ε")
+	}
+}
+
+func TestFinitePrefixRelations(t *testing.T) {
+	a := FiniteFromString("ab")
+	b := FiniteFromString("abc")
+	tests := []struct {
+		name         string
+		x, y         Finite
+		prefix, prop bool
+	}{
+		{"proper prefix", a, b, true, true},
+		{"equal", a, a, true, false},
+		{"longer", b, a, false, false},
+		{"mismatch", FiniteFromString("ac"), b, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.x.IsPrefixOf(tt.y); got != tt.prefix {
+				t.Errorf("IsPrefixOf = %v, want %v", got, tt.prefix)
+			}
+			if got := tt.x.IsProperPrefixOf(tt.y); got != tt.prop {
+				t.Errorf("IsProperPrefixOf = %v, want %v", got, tt.prop)
+			}
+		})
+	}
+}
+
+func TestPrefixIsCopy(t *testing.T) {
+	w := FiniteFromString("abc")
+	p := w.Prefix(2)
+	p[0] = "z"
+	if w[0] != "a" {
+		t.Fatal("Prefix must copy")
+	}
+}
+
+func TestLassoRejectsEmptyLoop(t *testing.T) {
+	if _, err := NewLasso(FiniteFromString("a"), nil); err == nil {
+		t.Fatal("empty loop must be rejected")
+	}
+}
+
+func TestLassoAt(t *testing.T) {
+	w := MustLassoStrings("a", "bc") // a b c b c b c ...
+	want := "abcbcbc"
+	for i, r := range want {
+		if got := w.At(i); got != alphabet.Symbol(string(r)) {
+			t.Errorf("At(%d) = %q, want %q", i, got, string(r))
+		}
+	}
+	if got := w.FinitePrefix(5).String(); got != "abcbc" {
+		t.Errorf("FinitePrefix(5) = %q", got)
+	}
+}
+
+func TestLassoSuffix(t *testing.T) {
+	w := MustLassoStrings("ab", "cd")
+	tests := []struct {
+		i    int
+		want Lasso
+	}{
+		{0, w},
+		{1, MustLassoStrings("b", "cd")},
+		{2, MustLassoStrings("", "cd")},
+		{3, MustLassoStrings("", "dc")},
+		{4, MustLassoStrings("", "cd")},
+		{7, MustLassoStrings("", "dc")},
+	}
+	for _, tt := range tests {
+		if got := w.Suffix(tt.i); !got.Equal(tt.want) {
+			t.Errorf("Suffix(%d) = %v, want %v", tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Lasso
+		want Lasso
+	}{
+		{"primitive root", MustLassoStrings("", "abab"), MustLassoStrings("", "ab")},
+		{"rollback", MustLassoStrings("a", "ba"), MustLassoStrings("", "ab")},
+		{"constant", MustLassoStrings("aaa", "aa"), MustLassoStrings("", "a")},
+		{"already canonical", MustLassoStrings("b", "a"), MustLassoStrings("b", "a")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.in.Canonical()
+			if !got.PrefixPart().Equal(tt.want.PrefixPart()) || !got.LoopPart().Equal(tt.want.LoopPart()) {
+				t.Errorf("Canonical(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLassoEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Lasso
+		want bool
+	}{
+		{"same denotation", MustLassoStrings("a", "ba"), MustLassoStrings("ab", "ab"), true},
+		{"unrolled loop", MustLassoStrings("", "ab"), MustLassoStrings("ab", "abab"), true},
+		{"different", MustLassoStrings("", "ab"), MustLassoStrings("", "ba"), false},
+		{"a^ω vs ab^ω", MustLassoStrings("", "a"), MustLassoStrings("a", "b"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFirstDifference(t *testing.T) {
+	// The paper's example: μ(a^n b^ω, a^2n b^ω) differs first at index n.
+	for n := 1; n <= 6; n++ {
+		a := MustLasso(FiniteFromString("a").Repeat(n), FiniteFromString("b"))
+		b := MustLasso(FiniteFromString("a").Repeat(2*n), FiniteFromString("b"))
+		if got := a.FirstDifference(b); got != n {
+			t.Errorf("n=%d: FirstDifference = %d, want %d", n, got, n)
+		}
+		want := math.Pow(2, -float64(n))
+		if got := a.Distance(b); got != want {
+			t.Errorf("n=%d: Distance = %g, want %g", n, got, want)
+		}
+	}
+	w := MustLassoStrings("", "ab")
+	if w.FirstDifference(MustLassoStrings("ab", "ab")) != -1 {
+		t.Error("equal words should have FirstDifference -1")
+	}
+	if w.Distance(w) != 0 {
+		t.Error("Distance to self should be 0")
+	}
+}
+
+func TestSharePrefixLongerThan(t *testing.T) {
+	a := MustLassoStrings("aaab", "c")
+	b := MustLassoStrings("aaa", "c")
+	if !a.SharePrefixLongerThan(b, 2) {
+		t.Error("should share prefix longer than 2")
+	}
+	if a.SharePrefixLongerThan(b, 3) {
+		t.Error("words differ at index 3")
+	}
+}
+
+func TestLassoString(t *testing.T) {
+	if got := MustLassoStrings("a", "bc").String(); got != "a(bc)^ω" {
+		t.Errorf("String = %q", got)
+	}
+	if got := MustLassoStrings("", "a").String(); got != "(a)^ω" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Equal is sound — canonical equality implies pointwise equality on
+// a long window, and vice versa.
+func TestEqualMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randWord := func(n int) Finite {
+		w := make(Finite, n)
+		for i := range w {
+			w[i] = alphabet.Symbol(string(rune('a' + rng.Intn(2))))
+		}
+		return w
+	}
+	for trial := 0; trial < 500; trial++ {
+		a := MustLasso(randWord(rng.Intn(4)), randWord(1+rng.Intn(4)))
+		b := MustLasso(randWord(rng.Intn(4)), randWord(1+rng.Intn(4)))
+		pointwise := true
+		for i := 0; i < 64; i++ {
+			if a.At(i) != b.At(i) {
+				pointwise = false
+				break
+			}
+		}
+		if got := a.Equal(b); got != pointwise {
+			t.Fatalf("Equal(%v, %v) = %v, pointwise = %v", a, b, got, pointwise)
+		}
+	}
+}
+
+// Property: Distance is a metric-like function — symmetric, zero iff equal,
+// and satisfies the ultrametric inequality on lasso words.
+func TestDistanceUltrametric(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	mk := func(px, lx uint8) Lasso {
+		letters := "ab"
+		p := ""
+		for i := 0; i < int(px%3); i++ {
+			p += string(letters[(int(px)>>i)&1])
+		}
+		l := ""
+		for i := 0; i <= int(lx%3); i++ {
+			l += string(letters[(int(lx)>>i)&1])
+		}
+		return MustLassoStrings(p, l)
+	}
+	f := func(p1, l1, p2, l2, p3, l3 uint8) bool {
+		a, b, c := mk(p1, l1), mk(p2, l2), mk(p3, l3)
+		dab, dbc, dac := a.Distance(b), b.Distance(c), a.Distance(c)
+		if dab != b.Distance(a) {
+			return false
+		}
+		if (dab == 0) != a.Equal(b) {
+			return false
+		}
+		maxD := dab
+		if dbc > maxD {
+			maxD = dbc
+		}
+		return dac <= maxD
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
