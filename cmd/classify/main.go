@@ -16,49 +16,70 @@
 // classifies a deterministic Streett automaton given in the textual
 // format of internal/omega.ParseText (alphabet/states/start/trans/pair
 // directives).
+//
+// Observability: -stats prints a span tree, per-stage timing summary and
+// counter values to stderr after the run; -trace FILE writes every span
+// and metric as JSON lines for offline analysis.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	temporal "repro"
+	"repro/internal/obs"
 	"repro/internal/omega"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "classify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	props := fs.String("props", "", "comma-separated extra propositions")
 	op := fs.String("op", "", "linguistic operator: A, E, R or P (with -regex)")
 	regexExpr := fs.String("regex", "", "finitary regular expression for -op")
 	alphaStr := fs.String("alphabet", "ab", "letters of the alphabet for -op")
 	autFile := fs.String("automaton", "", "file with a Streett automaton in the textual format")
+	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
+	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *autFile != "" {
-		return classifyAutomatonFile(*autFile)
+	finish, err := obs.Setup(*stats, *tracePath, stderr)
+	if err != nil {
+		return err
 	}
-	if *op != "" {
-		return classifyOperator(*op, *regexExpr, *alphaStr)
+	err = dispatch(fs, *autFile, *op, *regexExpr, *alphaStr, *props, stdout)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func dispatch(fs *flag.FlagSet, autFile, op, regexExpr, alphaStr, props string, stdout io.Writer) error {
+	if autFile != "" {
+		return classifyAutomatonFile(autFile, stdout)
+	}
+	if op != "" {
+		return classifyOperator(op, regexExpr, alphaStr, stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one formula argument")
 	}
-	return classifyFormula(fs.Arg(0), *props)
+	return classifyFormula(fs.Arg(0), props, stdout)
 }
 
-func classifyFormula(input, extraProps string) error {
+func classifyFormula(input, extraProps string, w io.Writer) error {
 	f, err := temporal.ParseFormula(input)
 	if err != nil {
 		return err
@@ -68,30 +89,30 @@ func classifyFormula(input, extraProps string) error {
 		props = strings.Split(extraProps, ",")
 	}
 
-	fmt.Printf("formula           : %v\n", f)
+	fmt.Fprintf(w, "formula           : %v\n", f)
 	syn, nf, err := temporal.SyntacticClass(f)
 	if err != nil {
 		return fmt.Errorf("normalize: %w", err)
 	}
-	fmt.Printf("normal form       : %v\n", nf)
-	fmt.Printf("syntactic class   : %v\n", syn)
+	fmt.Fprintf(w, "normal form       : %v\n", nf)
+	fmt.Fprintf(w, "syntactic class   : %v\n", syn)
 
 	aut, err := temporal.CompileFormula(f, propsOrNil(props, f))
 	if err != nil {
 		return err
 	}
 	c := temporal.ClassifyAutomaton(aut)
-	fmt.Printf("automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
-	fmt.Printf("semantic class    : %v\n", c.Lowest())
-	fmt.Printf("all classes       : %v\n", c.Classes())
+	fmt.Fprintf(w, "automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
+	fmt.Fprintf(w, "semantic class    : %v\n", c.Lowest())
+	fmt.Fprintf(w, "all classes       : %v\n", c.Classes())
 	if c.Obligation {
-		fmt.Printf("obligation rank   : %d\n", c.ObligationRank)
+		fmt.Fprintf(w, "obligation rank   : %d\n", c.ObligationRank)
 	}
-	fmt.Printf("reactivity rank   : %d\n", c.ReactivityRank)
-	fmt.Printf("topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
+	fmt.Fprintf(w, "reactivity rank   : %d\n", c.ReactivityRank)
+	fmt.Fprintf(w, "topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
 		temporal.IsClosed(aut), temporal.IsOpen(aut),
 		temporal.IsGdelta(aut), temporal.IsFsigma(aut), temporal.IsDense(aut))
-	fmt.Printf("safety-liveness   : liveness=%v\n", temporal.IsLiveness(aut))
+	fmt.Fprintf(w, "safety-liveness   : liveness=%v\n", temporal.IsLiveness(aut))
 	return nil
 }
 
@@ -102,34 +123,34 @@ func propsOrNil(props []string, f temporal.Formula) []string {
 	return props
 }
 
-func classifyAutomatonFile(path string) error {
+func classifyAutomatonFile(path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	aut, err := omega.ParseText(string(data))
 	if err != nil {
-		return err
+		return fmt.Errorf("parse %s: %w", path, err)
 	}
 	c := temporal.ClassifyAutomaton(aut)
-	fmt.Printf("automaton         : %d states, %d Streett pairs over %v\n",
+	fmt.Fprintf(w, "automaton         : %d states, %d Streett pairs over %v\n",
 		aut.NumStates(), aut.NumPairs(), aut.Alphabet())
-	fmt.Printf("semantic class    : %v\n", c.Lowest())
-	fmt.Printf("all classes       : %v\n", c.Classes())
+	fmt.Fprintf(w, "semantic class    : %v\n", c.Lowest())
+	fmt.Fprintf(w, "all classes       : %v\n", c.Classes())
 	if c.Obligation {
-		fmt.Printf("obligation rank   : %d\n", c.ObligationRank)
+		fmt.Fprintf(w, "obligation rank   : %d\n", c.ObligationRank)
 	}
-	fmt.Printf("reactivity rank   : %d\n", c.ReactivityRank)
-	fmt.Printf("topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
+	fmt.Fprintf(w, "reactivity rank   : %d\n", c.ReactivityRank)
+	fmt.Fprintf(w, "topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
 		temporal.IsClosed(aut), temporal.IsOpen(aut),
 		temporal.IsGdelta(aut), temporal.IsFsigma(aut), temporal.IsDense(aut))
-	fmt.Printf("syntactic shape   : safety=%v guarantee=%v recurrence=%v persistence=%v\n",
+	fmt.Fprintf(w, "syntactic shape   : safety=%v guarantee=%v recurrence=%v persistence=%v\n",
 		aut.IsSafetyAutomaton(), aut.IsGuaranteeAutomaton(),
 		aut.IsRecurrenceAutomaton(), aut.IsPersistenceAutomaton())
 	return nil
 }
 
-func classifyOperator(op, regexExpr, alphaStr string) error {
+func classifyOperator(op, regexExpr, alphaStr string, w io.Writer) error {
 	if regexExpr == "" {
 		return fmt.Errorf("-op needs -regex")
 	}
@@ -155,11 +176,11 @@ func classifyOperator(op, regexExpr, alphaStr string) error {
 		return fmt.Errorf("unknown operator %q (want A, E, R or P)", op)
 	}
 	c := temporal.ClassifyAutomaton(aut)
-	fmt.Printf("property          : %s(%s) over %v\n", strings.ToUpper(op), regexExpr, alpha)
-	fmt.Printf("automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
-	fmt.Printf("semantic class    : %v\n", c.Lowest())
-	fmt.Printf("all classes       : %v\n", c.Classes())
-	fmt.Printf("topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
+	fmt.Fprintf(w, "property          : %s(%s) over %v\n", strings.ToUpper(op), regexExpr, alpha)
+	fmt.Fprintf(w, "automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
+	fmt.Fprintf(w, "semantic class    : %v\n", c.Lowest())
+	fmt.Fprintf(w, "all classes       : %v\n", c.Classes())
+	fmt.Fprintf(w, "topology          : closed=%v open=%v Gδ=%v Fσ=%v dense=%v\n",
 		temporal.IsClosed(aut), temporal.IsOpen(aut),
 		temporal.IsGdelta(aut), temporal.IsFsigma(aut), temporal.IsDense(aut))
 	return nil

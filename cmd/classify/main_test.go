@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestClassifyStats drives the full pipeline through the CLI entry point
+// and checks that -stats reports every major stage with automaton sizes.
+func TestClassifyStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", "G (p -> F q)"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "semantic class    : recurrence") {
+		t.Errorf("stdout missing classification:\n%s", stdout.String())
+	}
+	report := stderr.String()
+	for _, stage := range []string{"compile.", "dfa.", "omega.", "classify."} {
+		if !strings.Contains(report, stage) {
+			t.Errorf("-stats report missing stage %q:\n%s", stage, report)
+		}
+	}
+	for _, want := range []string{"states=", "span tree", "stage summary", "metrics"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("-stats report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestClassifyTraceJSONL checks that -trace writes one valid JSON object
+// per line covering spans of the pipeline stages and the final metrics.
+func TestClassifyTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trace", path, "G (p -> F q)"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+
+	names := map[string]bool{}
+	records := map[string]int{}
+	var sawFormulaAttr bool
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		kind, _ := rec["record"].(string)
+		records[kind]++
+		name, _ := rec["name"].(string)
+		names[name] = true
+		if attrs, ok := rec["attrs"].(map[string]any); ok {
+			if _, ok := attrs["formula"]; ok {
+				sawFormulaAttr = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if records["span"] == 0 || records["metric"] == 0 {
+		t.Fatalf("want span and metric records, got %v", records)
+	}
+	for _, want := range []string{"compile.formula", "dfa.minimize", "omega.reduce", "classify.automaton"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+	if !sawFormulaAttr {
+		t.Error("no span carried a formula attribute")
+	}
+}
+
+// TestClassifyAutomatonFileError checks that a malformed -automaton file
+// is reported with the file name and the offending line.
+func TestClassifyAutomatonFileError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.aut")
+	content := "alphabet a b\nstates 2\nstart 0\ntrans 0 a 5\ntrans 0 b 0\ntrans 1 a 0\ntrans 1 b 1\npair R=1 P=\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-automaton", path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("want error for malformed automaton file")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bad.aut") {
+		t.Errorf("error %q does not name the file", msg)
+	}
+	if !strings.Contains(msg, "line 4") {
+		t.Errorf("error %q does not cite the offending line", msg)
+	}
+}

@@ -2,14 +2,20 @@
 // each experiment re-derives one artifact and reports paper-expected
 // versus measured. Run with no arguments for all experiments, or pass
 // experiment ids (E1 … E14) to select.
+//
+// Observability: -stats prints a per-stage timing summary and counters
+// to stderr after the run; -trace FILE streams every pipeline span as
+// JSON lines.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -17,8 +23,19 @@ func main() {
 }
 
 func run(args []string) int {
+	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
+	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
+	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	finish, err := obs.Setup(*stats, *tracePath, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hierarchy:", err)
+		return 2
+	}
 	want := map[string]bool{}
-	for _, a := range args {
+	for _, a := range fs.Args() {
 		want[strings.ToUpper(a)] = true
 	}
 	reports := experiments.All()
@@ -31,6 +48,12 @@ func run(args []string) int {
 		fmt.Println()
 		if !r.OK {
 			exit = 1
+		}
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "hierarchy:", err)
+		if exit == 0 {
+			exit = 2
 		}
 	}
 	return exit

@@ -19,26 +19,43 @@ import (
 	"strings"
 
 	temporal "repro"
+	"repro/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "speccheck:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("speccheck", flag.ContinueOnError)
 	file := fs.String("f", "", "file with one formula per line ('#' comments)")
+	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
+	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 0, err
 	}
+	finish, err := obs.Setup(*stats, *tracePath, os.Stderr)
+	if err != nil {
+		return 0, err
+	}
+	code, err := check(fs, *file)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	return code, err
+}
+
+func check(fs *flag.FlagSet, file string) (int, error) {
 	var inputs []string
-	if *file != "" {
-		f, err := os.Open(*file)
+	if file != "" {
+		f, err := os.Open(file)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		defer f.Close()
 		sc := bufio.NewScanner(f)
@@ -50,12 +67,12 @@ func run(args []string) error {
 			inputs = append(inputs, line)
 		}
 		if err := sc.Err(); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	inputs = append(inputs, fs.Args()...)
 	if len(inputs) == 0 {
-		return fmt.Errorf("no formulas given")
+		return 0, fmt.Errorf("no formulas given")
 	}
 
 	counts := map[temporal.Class]int{}
@@ -64,15 +81,15 @@ func run(args []string) error {
 	for _, in := range inputs {
 		f, err := temporal.ParseFormula(in)
 		if err != nil {
-			return fmt.Errorf("parse %q: %w", in, err)
+			return 0, fmt.Errorf("parse %q: %w", in, err)
 		}
 		c, err := temporal.Classify(f)
 		if err != nil {
-			return fmt.Errorf("classify %q: %w", in, err)
+			return 0, fmt.Errorf("classify %q: %w", in, err)
 		}
 		aut, err := temporal.CompileFormula(f, nil)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		live := temporal.IsLiveness(aut)
 		hasLiveness = hasLiveness || live
@@ -100,11 +117,11 @@ func run(args []string) error {
 		fmt.Println("exclusion trap). Consider adding a guarantee / response /")
 		fmt.Println("reactivity requirement for each obligation the system owes its")
 		fmt.Println("environment.")
-		os.Exit(2)
+		return 2, nil
 	}
 	fmt.Println("specification contains liveness requirements — the do-nothing")
 	fmt.Println("implementation is excluded.")
-	return nil
+	return 0, nil
 }
 
 func reading(c temporal.Class) string {

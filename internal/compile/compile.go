@@ -15,6 +15,12 @@ import (
 	"repro/internal/eval"
 	"repro/internal/lang"
 	"repro/internal/ltl"
+	"repro/internal/obs"
+)
+
+var (
+	cntPastDFACalls  = obs.NewCounter("compile.past2dfa.calls")
+	cntPastDFAStates = obs.NewCounter("compile.past2dfa.states")
 )
 
 // ErrTooManyStates is returned when the subset construction exceeds its
@@ -79,6 +85,10 @@ func PastToDFAOverAlphabet(p ltl.Formula, alpha *alphabet.Alphabet) (*dfa.DFA, e
 }
 
 func pastToDFAOver(p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa.DFA, error) {
+	sp := obs.Start("compile.past2dfa").Stringer("formula", p).Int("alphabet", alpha.Size())
+	defer sp.End()
+	cntPastDFACalls.Inc()
+
 	subs := ltl.Subformulas(p) // children before parents
 	idx := map[string]int{}
 	for i, s := range subs {
@@ -195,7 +205,10 @@ func pastToDFAOver(p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa
 	if err != nil {
 		return nil, err
 	}
-	return d.Minimize(), nil
+	m := d.Minimize()
+	sp.Int("raw_states", len(states)).Int("states", m.NumStates())
+	cntPastDFAStates.Add(int64(m.NumStates()))
+	return m, nil
 }
 
 // Esat compiles a past formula into the paper's finitary property

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/omega"
 )
+
+var cntClassifications = obs.NewCounter("classify.automaton.calls")
 
 // ClassifyAutomaton classifies the property specified by a deterministic
 // Streett automaton into the hierarchy — the decision procedures of §5.1.
@@ -22,6 +25,9 @@ import (
 //     "obligation = recurrence ∩ persistence").
 //   - ranks: Wagner's alternating chains (see chains.go).
 func ClassifyAutomaton(a *omega.Automaton) Classification {
+	sp := obs.Start("classify.automaton").Int("states", a.NumStates()).Int("pairs", a.NumPairs())
+	defer sp.End()
+	cntClassifications.Inc()
 	reach := a.Reachable()
 	live := a.LiveStates()
 	coLive := a.CoLiveStates()
@@ -35,10 +41,30 @@ func ClassifyAutomaton(a *omega.Automaton) Classification {
 	}
 
 	c := Classification{Reactivity: true}
-	c.Safety = a.RejectingCycleWithin(liveReach) == nil
-	c.Guarantee = a.AcceptingCycleWithin(coLiveReach) == nil
-	c.Recurrence = isRecurrence(a, reach)
-	c.Persistence = isPersistence(a, reach)
+	func() {
+		sub := obs.Start("classify.safety")
+		defer sub.End()
+		c.Safety = a.RejectingCycleWithin(liveReach) == nil
+		sub.Bool("safety", c.Safety)
+	}()
+	func() {
+		sub := obs.Start("classify.guarantee")
+		defer sub.End()
+		c.Guarantee = a.AcceptingCycleWithin(coLiveReach) == nil
+		sub.Bool("guarantee", c.Guarantee)
+	}()
+	func() {
+		sub := obs.Start("classify.recurrence")
+		defer sub.End()
+		c.Recurrence = isRecurrence(a, reach)
+		sub.Bool("recurrence", c.Recurrence)
+	}()
+	func() {
+		sub := obs.Start("classify.persistence")
+		defer sub.End()
+		c.Persistence = isPersistence(a, reach)
+		sub.Bool("persistence", c.Persistence)
+	}()
 	// Safety and guarantee are contained in recurrence and persistence;
 	// the semantic procedures agree, but make the containment structural.
 	if c.Safety || c.Guarantee {
@@ -47,10 +73,15 @@ func ClassifyAutomaton(a *omega.Automaton) Classification {
 	}
 	c.Obligation = c.Recurrence && c.Persistence
 
-	c.ReactivityRank = reactivityRank(a, reach)
-	if c.Obligation {
-		c.ObligationRank = obligationRank(a, reach)
-	}
+	func() {
+		sub := obs.Start("classify.ranks")
+		defer sub.End()
+		c.ReactivityRank = reactivityRank(a, reach)
+		if c.Obligation {
+			c.ObligationRank = obligationRank(a, reach)
+		}
+		sub.Int("reactivity_rank", c.ReactivityRank).Int("obligation_rank", c.ObligationRank)
+	}()
 	return c
 }
 

@@ -9,8 +9,11 @@ import (
 	"repro/internal/compile"
 	"repro/internal/lang"
 	"repro/internal/ltl"
+	"repro/internal/obs"
 	"repro/internal/omega"
 )
+
+var cntFormulasCompiled = obs.NewCounter("compile.formula.calls")
 
 // ErrNotNormalizable is returned for formulas outside the supported
 // normalizable fragment. The paper's normal-form theorem ("every temporal
@@ -153,6 +156,8 @@ func leaf(k UnitKind, arg ltl.Formula) *comb { return &comb{unit: &Unit{Kind: k,
 
 // Normalize rewrites a formula into the conjunctive normal form of §4.
 func Normalize(f ltl.Formula) (NormalForm, error) {
+	sp := obs.Start("core.normalize").Stringer("formula", f)
+	defer sp.End()
 	c, err := rewrite(ltl.Nnf(f), true)
 	if err != nil {
 		return NormalForm{}, err
@@ -162,6 +167,7 @@ func Normalize(f ltl.Formula) (NormalForm, error) {
 	for _, units := range cnf {
 		out.Clauses = append(out.Clauses, collapseClause(units))
 	}
+	sp.Int("clauses", len(out.Clauses))
 	return out, nil
 }
 
@@ -1020,10 +1026,14 @@ func CompileFormula(f ltl.Formula, props []string) (*omega.Automaton, error) {
 // the formula's propositions (used with plain-letter alphabets where a
 // proposition holds at its synonymous symbol).
 func CompileFormulaOver(f ltl.Formula, alpha *alphabet.Alphabet, props []string) (*omega.Automaton, error) {
+	sp := obs.Start("compile.formula").Stringer("formula", f).Int("alphabet", alpha.Size())
+	defer sp.End()
+	cntFormulasCompiled.Inc()
 	nf, err := Normalize(f)
 	if err != nil {
 		return nil, err
 	}
+	sp.Int("clauses", len(nf.Clauses))
 	esat := func(p ltl.Formula) (*lang.Property, error) {
 		d, err := compile.PastToDFAOverAlphabet(p, alpha)
 		if err != nil {
@@ -1107,7 +1117,9 @@ func CompileFormulaOver(f ltl.Formula, alpha *alphabet.Alphabet, props []string)
 	}
 	// Quotient bisimilar states: products of clause automata often carry
 	// duplicated tracking structure.
-	return prod.Reduce(), nil
+	res := prod.Reduce()
+	sp.Int("states", res.NumStates()).Int("pairs", res.NumPairs())
+	return res, nil
 }
 
 // ClassifyFormula classifies a formula semantically: it compiles the

@@ -1,11 +1,15 @@
 package dfa
 
+import "repro/internal/obs"
+
 // Minimize returns the canonical minimal DFA for L(d) (restricted to
 // reachable states), using Hopcroft's partition-refinement algorithm.
 // The result is complete and deterministic like its input; states are
 // numbered in BFS order from the start state so that equal languages yield
 // structurally identical automata.
 func (d *DFA) Minimize() *DFA {
+	sp := obs.Start("dfa.minimize").Int("in_states", len(d.trans))
+	defer sp.End()
 	t := d.Trim()
 	n := len(t.trans)
 	k := t.alpha.Size()
@@ -162,5 +166,6 @@ func (d *DFA) Minimize() *DFA {
 		trans[i] = row
 		accept[i] = rawAccept[b]
 	}
+	sp.Int("states", len(order))
 	return MustNew(t.alpha, trans, 0, accept)
 }

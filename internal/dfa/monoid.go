@@ -3,6 +3,8 @@ package dfa
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // ErrMonoidTooLarge is returned when the transformation monoid exceeds the
@@ -51,6 +53,8 @@ func (m *Monoid) Witness(i int) string { return m.words[i] }
 // composition. It fails with ErrMonoidTooLarge if more than cap elements
 // are generated; cap ≤ 0 means no cap.
 func (d *DFA) TransitionMonoid(capSize int) (*Monoid, error) {
+	sp := obs.Start("dfa.monoid").Int("states", len(d.trans))
+	defer sp.End()
 	n := len(d.trans)
 	k := d.alpha.Size()
 	gens := make([]Transformation, k)
@@ -87,6 +91,7 @@ func (d *DFA) TransitionMonoid(capSize int) (*Monoid, error) {
 	if capSize > 0 && len(m.elements) > capSize {
 		return nil, fmt.Errorf("%w: > %d elements", ErrMonoidTooLarge, capSize)
 	}
+	sp.Int("elements", len(m.elements))
 	return m, nil
 }
 

@@ -2,7 +2,11 @@ package dfa
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
 )
+
+var cntProductStates = obs.NewCounter("dfa.product.states")
 
 // BoolOp is a binary boolean combinator for Product.
 type BoolOp int
@@ -37,6 +41,8 @@ func (d *DFA) Product(e *DFA, op BoolOp) (*DFA, error) {
 	if !d.alpha.Equal(e.alpha) {
 		return nil, fmt.Errorf("dfa: product over different alphabets %v and %v", d.alpha, e.alpha)
 	}
+	sp := obs.Start("dfa.product").Int("left_states", len(d.trans)).Int("right_states", len(e.trans))
+	defer sp.End()
 	k := d.alpha.Size()
 	type pair struct{ a, b int }
 	index := map[pair]int{}
@@ -63,6 +69,8 @@ func (d *DFA) Product(e *DFA, op BoolOp) (*DFA, error) {
 		trans = append(trans, row)
 		accept = append(accept, op.apply(d.accept[p.a], e.accept[p.b]))
 	}
+	sp.Int("states", len(order))
+	cntProductStates.Add(int64(len(order)))
 	return New(d.alpha, trans, 0, accept)
 }
 

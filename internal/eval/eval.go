@@ -26,7 +26,13 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/ltl"
+	"repro/internal/obs"
 	"repro/internal/word"
+)
+
+var (
+	cntHoldsChecks  = obs.NewCounter("eval.holds.checks")
+	cntEndSatChecks = obs.NewCounter("eval.endsat.checks")
 )
 
 // seq is an ultimately periodic boolean sequence: pre is the transient,
@@ -286,6 +292,9 @@ func (e *Evaluator) pastRecurrence(l, r ltl.Formula, conj bool) (seq, error) {
 
 // Holds reports whether the lasso word satisfies the formula at position 0.
 func Holds(f ltl.Formula, w word.Lasso) (bool, error) {
+	sp := obs.Start("eval.holds").Stringer("formula", f).Int("prefix", w.PrefixLen()).Int("loop", w.LoopLen())
+	defer sp.End()
+	cntHoldsChecks.Inc()
 	return NewEvaluator(w).Holds(f)
 }
 
@@ -304,6 +313,9 @@ func EndSatisfies(p ltl.Formula, w word.Finite) (bool, error) {
 	if !ltl.IsPastFormula(p) {
 		return false, fmt.Errorf("eval: %v is not a past formula", p)
 	}
+	sp := obs.Start("eval.endsat").Stringer("formula", p).Int("length", len(w))
+	defer sp.End()
+	cntEndSatChecks.Inc()
 	vals, err := evalPastForward(p, w)
 	if err != nil {
 		return false, err

@@ -17,8 +17,15 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/core"
 	"repro/internal/ltl"
+	"repro/internal/obs"
 	"repro/internal/omega"
 	"repro/internal/ts"
+)
+
+var (
+	cntVerifyCalls  = obs.NewCounter("mc.verify.calls")
+	cntRefineRounds = obs.NewCounter("mc.refine.rounds")
+	histRefineSizes = obs.NewHistogram("mc.refine.component_size")
 )
 
 // Trace is a lasso-shaped computation of the system: the states of the
@@ -52,6 +59,9 @@ type Result struct {
 // automaton when ¬f is outside the normalizable fragment), and the fair
 // product is checked for emptiness.
 func Verify(sys *ts.System, f ltl.Formula) (Result, error) {
+	sp := obs.Start("mc.verify").Stringer("formula", f).Int("sys_states", sys.NumStates())
+	defer sp.End()
+	cntVerifyCalls.Inc()
 	props := unionProps(sys, f)
 	neg, err := negationAutomaton(f, props)
 	if err != nil {
@@ -61,6 +71,7 @@ func Verify(sys *ts.System, f ltl.Formula) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sp.Bool("holds", !found)
 	if found {
 		return Result{Holds: false, Counterexample: &trace}, nil
 	}
@@ -97,8 +108,11 @@ func unionProps(sys *ts.System, f ltl.Formula) []string {
 
 // negationAutomaton builds an automaton for ¬f over 2^props.
 func negationAutomaton(f ltl.Formula, props []string) (*omega.Automaton, error) {
+	sp := obs.Start("mc.negation").Stringer("formula", f)
+	defer sp.End()
 	neg, errNeg := core.CompileFormula(ltl.Not{F: f}, props)
 	if errNeg == nil {
+		sp.Int("states", neg.NumStates()).Int("pairs", neg.NumPairs())
 		return neg, nil
 	}
 	pos, errPos := core.CompileFormula(f, props)
@@ -109,6 +123,7 @@ func negationAutomaton(f ltl.Formula, props []string) (*omega.Automaton, error) 
 	if err != nil {
 		return nil, fmt.Errorf("mc: ¬f not normalizable (%v) and f's automaton is multi-pair (%v)", errNeg, err)
 	}
+	sp.Int("states", comp.NumStates()).Int("pairs", comp.NumPairs()).Bool("complemented", true)
 	return comp, nil
 }
 
@@ -134,6 +149,8 @@ type product struct {
 type prodNode struct{ s, q int }
 
 func buildProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product, error) {
+	sp := obs.Start("mc.product").Int("sys_states", sys.NumStates()).Int("aut_states", aut.NumStates())
+	defer sp.End()
 	p := &product{sys: sys, aut: aut, props: props, index: map[prodNode]int{}}
 	p.autSym = make([]alphabet.Symbol, sys.NumStates())
 	for s := 0; s < sys.NumStates(); s++ {
@@ -156,6 +173,7 @@ func buildProduct(sys *ts.System, aut *omega.Automaton, props []string) (*produc
 		q0 := aut.Step(aut.Start(), p.autSym[s0])
 		p.inits = append(p.inits, get(prodNode{s0, q0}))
 	}
+	nEdges := 0
 	for i := 0; i < len(p.nodes); i++ {
 		n := p.nodes[i]
 		for ti, tr := range sys.Transitions() {
@@ -163,9 +181,11 @@ func buildProduct(sys *ts.System, aut *omega.Automaton, props []string) (*produc
 				q2 := aut.Step(n.q, p.autSym[s2])
 				j := get(prodNode{s2, q2})
 				p.edges[i] = append(p.edges[i], prodEdge{to: j, trans: ti})
+				nEdges++
 			}
 		}
 	}
+	sp.Int("nodes", len(p.nodes)).Int("edges", nEdges)
 	return p, nil
 }
 
@@ -180,7 +200,10 @@ func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (
 	for i := range allowed {
 		allowed[i] = true
 	}
+	sp := obs.Start("mc.search").Int("nodes", len(p.nodes))
 	comp, need := p.findFairAcceptingSCC(allowed)
+	sp.Bool("found", comp != nil)
+	sp.End()
 	if comp == nil {
 		return Trace{}, false, nil
 	}
@@ -207,6 +230,12 @@ func (p *product) findFairAcceptingSCC(allowed []bool) ([]int, []int) {
 }
 
 func (p *product) refine(comp []int) ([]int, []int) {
+	// One refinement round: record its component size so the shrinking
+	// sequence of candidate sets is visible in traces.
+	sp := obs.Start("mc.refine").Int("component", len(comp))
+	defer sp.End()
+	cntRefineRounds.Inc()
+	histRefineSizes.Observe(int64(len(comp)))
 	inComp := make(map[int]bool, len(comp))
 	for _, n := range comp {
 		inComp[n] = true

@@ -1,0 +1,73 @@
+package mc_test
+
+import (
+	"testing"
+
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+)
+
+// assertNamesRoundTrip checks that Trace.Names is faithful: every rendered
+// name resolves back (via StateIndex) to the state index it came from, so
+// printed counterexamples can be mapped back onto the system.
+func assertNamesRoundTrip(t *testing.T, sys *ts.System, tr *mc.Trace) {
+	t.Helper()
+	pre, loop := tr.Names(sys)
+	if len(pre) != len(tr.Prefix) || len(loop) != len(tr.Loop) {
+		t.Fatalf("Names length mismatch: prefix %d/%d, loop %d/%d",
+			len(pre), len(tr.Prefix), len(loop), len(tr.Loop))
+	}
+	check := func(part string, names []string, states []int) {
+		for i, name := range names {
+			got := sys.StateIndex(name)
+			if got < 0 {
+				t.Errorf("%s[%d]: name %q unknown to the system", part, i, name)
+				continue
+			}
+			if got != states[i] {
+				t.Errorf("%s[%d]: name %q resolves to state %d, want %d",
+					part, i, name, got, states[i])
+			}
+		}
+	}
+	check("prefix", pre, tr.Prefix)
+	check("loop", loop, tr.Loop)
+	if len(loop) == 0 {
+		t.Error("counterexample loop is empty")
+	}
+}
+
+// TestTraceNamesElevator: the nearest-car elevator starves floor 0; the
+// counterexample trace must round-trip through state names.
+func TestTraceNamesElevator(t *testing.T) {
+	sys, err := ts.Elevator(ts.Nearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Verify(sys, ltl.MustParse("G (call0 -> F (at0 & open))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("nearest-car policy should starve floor 0")
+	}
+	assertNamesRoundTrip(t, sys, res.Counterexample)
+}
+
+// TestTraceNamesSemaphore: the weakly fair semaphore (the paper's mutual
+// exclusion setting) starves process 1; same round-trip contract.
+func TestTraceNamesSemaphore(t *testing.T) {
+	sys, err := ts.Semaphore(ts.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mc.Verify(sys, ltl.MustParse("G (w1 -> F c1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("weakly fair semaphore should admit starvation")
+	}
+	assertNamesRoundTrip(t, sys, res.Counterexample)
+}

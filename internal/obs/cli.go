@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// maxStatsRoots bounds how many root span trees -stats retains; the
+// stage summary and counters still cover the whole run.
+const maxStatsRoots = 4096
+
+// Setup wires the standard CLI observability flags shared by the three
+// command-line tools: stats (print the span tree, per-stage summary and
+// counter table to statsW when the run finishes) and tracePath (stream
+// every span as JSON lines to that file, plus a final metric line per
+// counter). It returns a finish function that must be called once after
+// the instrumented work; finish detaches the sinks, emits the reports,
+// and returns any trace-write error.
+//
+// When both stats is false and tracePath is empty, Setup attaches
+// nothing and finish is a cheap no-op.
+func Setup(stats bool, tracePath string, statsW io.Writer) (finish func() error, err error) {
+	if !stats && tracePath == "" {
+		return func() error { return nil }, nil
+	}
+	ResetMetrics()
+	var sinks []Sink
+	var collector *Collector
+	var summary *StageSummary
+	if stats {
+		collector = &Collector{MaxRoots: maxStatsRoots}
+		summary = NewStageSummary()
+		sinks = append(sinks, collector, summary)
+	}
+	var traceFile *os.File
+	var jsonl *JSONLSink
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		jsonl = NewJSONLSink(traceFile)
+		sinks = append(sinks, jsonl)
+	}
+	Attach(sinks...)
+	return func() error {
+		Detach()
+		if collector != nil {
+			fmt.Fprintln(statsW, "── span tree ──────────────────────────────────")
+			fmt.Fprint(statsW, collector.Tree())
+			fmt.Fprintln(statsW, "── stage summary ──────────────────────────────")
+			summary.Write(statsW)
+			fmt.Fprintln(statsW, "── metrics ────────────────────────────────────")
+			WriteMetrics(statsW)
+		}
+		if jsonl != nil {
+			err := jsonl.WriteMetrics()
+			if cerr := traceFile.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+		return nil
+	}, nil
+}

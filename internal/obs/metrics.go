@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters, gauges and histograms are process-wide named metrics behind
+// plain atomic operations: instrumented code updates them unconditionally
+// (an uncontended atomic add), and sinks read consistent snapshots. The
+// lookup cost is paid once, at package init, by holding the returned
+// pointer in a package-level var:
+//
+//	var cntProductStates = obs.NewCounter("omega.product.states")
+
+// Counter is a monotone event counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value (or running-maximum) metric.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Max raises the gauge to v if v is larger (high-water marks: largest
+// product automaton, deepest refinement).
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records a distribution of non-negative integer observations
+// in power-of-two buckets: bucket i counts values v with bits.Len64(v)
+// == i, i.e. 0, 1, 2–3, 4–7, … — O(1) to observe, compact to export.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// MaxValue returns the largest observation (0 when empty).
+func (h *Histogram) MaxValue() int64 { return h.max.Load() }
+
+// Bucket is one non-empty histogram bucket: counts of observations with
+// Upper/2 < v ≤ Upper (the first bucket is exactly 0).
+type Bucket struct {
+	Upper int64
+	Count int64
+}
+
+// Buckets returns the non-empty buckets in increasing order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		upper := int64(0)
+		if i > 0 {
+			upper = 1<<i - 1
+		}
+		out = append(out, Bucket{Upper: upper, Count: n})
+	}
+	return out
+}
+
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewCounter returns the process-wide counter with the given name,
+// creating it on first use.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = map[string]*Counter{}
+	}
+	c, ok := registry.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		registry.counters[name] = c
+	}
+	return c
+}
+
+// NewGauge returns the process-wide gauge with the given name.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = map[string]*Gauge{}
+	}
+	g, ok := registry.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		registry.gauges[name] = g
+	}
+	return g
+}
+
+// NewHistogram returns the process-wide histogram with the given name.
+func NewHistogram(name string) *Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.hists == nil {
+		registry.hists = map[string]*Histogram{}
+	}
+	h, ok := registry.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		registry.hists[name] = h
+	}
+	return h
+}
+
+// MetricValue is one flat, CSV-friendly metric snapshot row.
+type MetricValue struct {
+	Name  string
+	Kind  string // "counter", "gauge" or "histogram"
+	Value int64  // counter/gauge value; histogram sum
+	Count int64  // histogram observation count (0 otherwise)
+	Max   int64  // histogram maximum observation (0 otherwise)
+}
+
+// Snapshot returns every registered metric, sorted by name.
+func Snapshot() []MetricValue {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	var out []MetricValue
+	for name, c := range registry.counters {
+		out = append(out, MetricValue{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range registry.gauges {
+		out = append(out, MetricValue{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range registry.hists {
+		out = append(out, MetricValue{
+			Name: name, Kind: "histogram",
+			Value: h.Sum(), Count: h.Count(), Max: h.MaxValue(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetMetrics zeroes every registered metric (between CLI runs and in
+// tests; the registry itself is kept so held pointers stay valid).
+func ResetMetrics() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range registry.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.max.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}

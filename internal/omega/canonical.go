@@ -3,6 +3,8 @@ package omega
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // This file implements the constructive direction of Proposition 5.1: an
@@ -113,7 +115,10 @@ func (a *Automaton) Interior() *Automaton {
 // safety form (a single pair (∅, G) whose good region cannot be
 // re-entered) — possible exactly when the property is a safety property.
 func (a *Automaton) ToSafetyAutomaton() (*Automaton, error) {
+	sp := obs.Start("omega.canonical.safety").Int("in_states", len(a.trans))
+	defer sp.End()
 	candidate := a.SafetyClosure().Trim()
+	sp.Int("states", len(candidate.trans))
 	eq, ce, err := a.Equivalent(candidate)
 	if err != nil {
 		return nil, err
@@ -129,7 +134,10 @@ func (a *Automaton) ToSafetyAutomaton() (*Automaton, error) {
 // possible exactly when the property is a guarantee property, in which
 // case the property equals its own interior.
 func (a *Automaton) ToGuaranteeAutomaton() (*Automaton, error) {
+	sp := obs.Start("omega.canonical.guarantee").Int("in_states", len(a.trans))
+	defer sp.End()
 	candidate := a.Interior()
+	sp.Int("states", len(candidate.trans))
 	eq, ce, err := a.Equivalent(candidate)
 	if err != nil {
 		return nil, err
@@ -148,6 +156,8 @@ func (a *Automaton) ToGuaranteeAutomaton() (*Automaton, error) {
 // conditions is merged with the cyclic-counter product. Succeeds exactly
 // when the property is a recurrence property.
 func (a *Automaton) ToRecurrenceAutomaton() (*Automaton, error) {
+	sp := obs.Start("omega.canonical.recurrence").Int("in_states", len(a.trans)).Int("in_pairs", len(a.pairs))
+	defer sp.End()
 	n := len(a.trans)
 	all := make([]bool, n)
 	for i := range all {
@@ -168,6 +178,7 @@ func (a *Automaton) ToRecurrenceAutomaton() (*Automaton, error) {
 		buchiSets[i] = set
 	}
 	merged := a.mergeBuchi(buchiSets)
+	sp.Int("states", len(merged.trans))
 	eq, ce, err := a.Equivalent(merged)
 	if err != nil {
 		return nil, err
@@ -240,6 +251,8 @@ func (a *Automaton) mergeBuchi(sets [][]bool) *Automaton {
 // eventually stay within the states that belong to accepting cycles.
 // Succeeds exactly when the property is a persistence property.
 func (a *Automaton) ToPersistenceAutomaton() (*Automaton, error) {
+	sp := obs.Start("omega.canonical.persistence").Int("in_states", len(a.trans))
+	defer sp.End()
 	n := len(a.trans)
 	all := make([]bool, n)
 	for i := range all {

@@ -1,8 +1,11 @@
 package omega
 
 import (
+	"repro/internal/obs"
 	"repro/internal/word"
 )
+
+var cntEmptinessChecks = obs.NewCounter("omega.emptiness.checks")
 
 // acceptsCycleSet reports whether a run whose infinity set is exactly the
 // given set would be accepted — i.e. whether the set belongs to the
@@ -79,6 +82,9 @@ func (a *Automaton) IsEmpty() bool {
 // if the language is empty. The witness realizes inf(r) equal to an
 // accepting strongly connected set.
 func (a *Automaton) WitnessLasso() (word.Lasso, bool) {
+	sp := obs.Start("omega.emptiness").Int("states", len(a.trans)).Int("pairs", len(a.pairs))
+	defer sp.End()
+	cntEmptinessChecks.Inc()
 	comp := a.findAcceptingSCC(a.Reachable())
 	if comp == nil {
 		return word.Lasso{}, false
@@ -118,6 +124,8 @@ func (a *Automaton) NonEmptyFrom(q int) bool {
 // from that state. Dead states are closed under transitions: every
 // successor of a dead state is dead.
 func (a *Automaton) LiveStates() []bool {
+	sp := obs.Start("omega.livestates").Int("states", len(a.trans))
+	defer sp.End()
 	n := len(a.trans)
 	live := make([]bool, n)
 	// Every state inside some accepting SCC is live; then propagate

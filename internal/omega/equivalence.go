@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -21,6 +22,8 @@ func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
 	if !a.alpha.Equal(b.alpha) {
 		return false, word.Lasso{}, fmt.Errorf("omega: containment over different alphabets")
 	}
+	sp := obs.Start("omega.contains").Int("left_states", len(a.trans)).Int("right_states", len(b.trans))
+	defer sp.End()
 	// Build the product structure with both pair lists lifted.
 	prod, err := a.Intersect(b)
 	if err != nil {

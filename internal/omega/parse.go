@@ -32,9 +32,14 @@ func ParseText(input string) (*Automaton, error) {
 	type edge struct {
 		from, to int
 		sym      string
+		line     int
+	}
+	type pairSpec struct {
+		r, p string
+		line int
 	}
 	var edges []edge
-	var pairSpecs [][2]string
+	var pairSpecs []pairSpec
 
 	for lineNo, raw := range strings.Split(input, "\n") {
 		line := strings.TrimSpace(raw)
@@ -87,12 +92,12 @@ func ParseText(input string) (*Automaton, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("omega: line %d: bad transition states", lineNo+1)
 			}
-			edges = append(edges, edge{from: from, to: to, sym: fields[2]})
+			edges = append(edges, edge{from: from, to: to, sym: fields[2], line: lineNo + 1})
 		case "pair":
 			if len(fields) != 3 || !strings.HasPrefix(fields[1], "R=") || !strings.HasPrefix(fields[2], "P=") {
 				return nil, fmt.Errorf("omega: line %d: pair needs 'R=... P=...'", lineNo+1)
 			}
-			pairSpecs = append(pairSpecs, [2]string{fields[1][2:], fields[2][2:]})
+			pairSpecs = append(pairSpecs, pairSpec{r: fields[1][2:], p: fields[2][2:], line: lineNo + 1})
 		default:
 			return nil, fmt.Errorf("omega: line %d: unknown directive %q", lineNo+1, fields[0])
 		}
@@ -122,14 +127,14 @@ func ParseText(input string) (*Automaton, error) {
 	}
 	for _, e := range edges {
 		if e.from < 0 || e.from >= n || e.to < 0 || e.to >= n {
-			return nil, fmt.Errorf("omega: transition %d-%s->%d out of range", e.from, e.sym, e.to)
+			return nil, fmt.Errorf("omega: line %d: transition %d-%s->%d out of range (states 0..%d)", e.line, e.from, e.sym, e.to, n-1)
 		}
 		si := alpha.Index(alphabet.Symbol(e.sym))
 		if si < 0 {
-			return nil, fmt.Errorf("omega: transition symbol %q not in alphabet", e.sym)
+			return nil, fmt.Errorf("omega: line %d: transition symbol %q not in alphabet %v", e.line, e.sym, alpha)
 		}
 		if trans[e.from][si] >= 0 {
-			return nil, fmt.Errorf("omega: duplicate transition from %d on %q", e.from, e.sym)
+			return nil, fmt.Errorf("omega: line %d: duplicate transition from %d on %q", e.line, e.from, e.sym)
 		}
 		trans[e.from][si] = e.to
 	}
@@ -141,7 +146,7 @@ func ParseText(input string) (*Automaton, error) {
 		}
 	}
 
-	parseSet := func(spec string) ([]bool, error) {
+	parseSet := func(spec string, line int) ([]bool, error) {
 		v := make([]bool, n)
 		if spec == "" {
 			return v, nil
@@ -149,7 +154,7 @@ func ParseText(input string) (*Automaton, error) {
 		for _, part := range strings.Split(spec, ",") {
 			q, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || q < 0 || q >= n {
-				return nil, fmt.Errorf("omega: bad state %q in set", part)
+				return nil, fmt.Errorf("omega: line %d: bad state %q in pair set (states 0..%d)", line, part, n-1)
 			}
 			v[q] = true
 		}
@@ -157,11 +162,11 @@ func ParseText(input string) (*Automaton, error) {
 	}
 	pairs := make([]Pair, 0, len(pairSpecs))
 	for _, spec := range pairSpecs {
-		r, err := parseSet(spec[0])
+		r, err := parseSet(spec.r, spec.line)
 		if err != nil {
 			return nil, err
 		}
-		p, err := parseSet(spec[1])
+		p, err := parseSet(spec.p, spec.line)
 		if err != nil {
 			return nil, err
 		}

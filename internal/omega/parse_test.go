@@ -60,6 +60,48 @@ func TestParseTextErrors(t *testing.T) {
 	}
 }
 
+// TestParseTextErrorLines checks that second-phase errors (resolved only
+// after all directives are read) still cite the offending line.
+func TestParseTextErrorLines(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		line  string
+	}{
+		{
+			name:  "range",
+			input: "alphabet a\nstates 1\nstart 0\ntrans 0 a 5\npair R= P=0",
+			line:  "line 4",
+		},
+		{
+			name:  "foreign symbol",
+			input: "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\ntrans 0 z 0\npair R= P=0",
+			line:  "line 5",
+		},
+		{
+			name:  "duplicate trans",
+			input: "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\ntrans 0 a 0\npair R= P=0",
+			line:  "line 5",
+		},
+		{
+			name:  "bad pair set",
+			input: "alphabet a\nstates 1\nstart 0\ntrans 0 a 0\npair R= P=\npair R=9 P=",
+			line:  "line 6",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := omega.ParseText(tc.input)
+			if err == nil {
+				t.Fatal("expected parse error")
+			}
+			if !strings.Contains(err.Error(), tc.line) {
+				t.Errorf("error %q does not cite %s", err, tc.line)
+			}
+		})
+	}
+}
+
 func TestTextRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(63))
 	for i := 0; i < 25; i++ {

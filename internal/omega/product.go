@@ -2,6 +2,13 @@ package omega
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
+)
+
+var (
+	cntProductStates = obs.NewCounter("omega.product.states")
+	maxProductStates = obs.NewGauge("omega.product.max_states")
 )
 
 // Intersect returns the synchronous product automaton, accepting
@@ -12,6 +19,10 @@ func (a *Automaton) Intersect(b *Automaton) (*Automaton, error) {
 	if !a.alpha.Equal(b.alpha) {
 		return nil, fmt.Errorf("omega: product over different alphabets %v and %v", a.alpha, b.alpha)
 	}
+	sp := obs.Start("omega.product").
+		Int("left_states", len(a.trans)).Int("right_states", len(b.trans)).
+		Int("alphabet", a.alpha.Size())
+	defer sp.End()
 	k := a.alpha.Size()
 	type pr struct{ x, y int }
 	index := map[pr]int{}
@@ -62,6 +73,9 @@ func (a *Automaton) Intersect(b *Automaton) (*Automaton, error) {
 		return nil, err
 	}
 	out.labels = labels
+	sp.Int("states", n).Int("pairs", len(pairs))
+	cntProductStates.Add(int64(n))
+	maxProductStates.Max(int64(n))
 	return out, nil
 }
 

@@ -1,5 +1,7 @@
 package omega
 
+import "repro/internal/obs"
+
 // Reduce returns a language-equivalent automaton obtained by merging
 // bisimilar states: states with the same acceptance "color" (their
 // membership vector across all R/P sets) and the same successor classes
@@ -11,6 +13,8 @@ package omega
 // Reduce never changes the number of pairs; combine with the canonical
 // constructions (ToRecurrenceAutomaton etc.) for stronger normalization.
 func (a *Automaton) Reduce() *Automaton {
+	sp := obs.Start("omega.reduce").Int("in_states", len(a.trans))
+	defer sp.End()
 	t := a.Trim()
 	n := len(t.trans)
 	k := t.alpha.Size()
@@ -124,6 +128,7 @@ func (a *Automaton) Reduce() *Automaton {
 			pairs[pi].P[i] = p.P[q]
 		}
 	}
+	sp.Int("states", len(order)).Int("pairs", len(pairs))
 	return MustNew(t.alpha, trans, 0, pairs)
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, vet, and the full test suite under the
+# race detector. Run before sending a PR; CI runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ok"
