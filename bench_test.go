@@ -7,6 +7,7 @@ package temporal_test
 // parameter sweeps.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -101,6 +102,61 @@ func BenchmarkReactivityRank(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkClassifyBatch compares the execution strategies for a
+// requirements list built from the §2 canonical examples (duplicated ×4,
+// the shape of a real property-list specification with repeated
+// requirements): sequential core calls per item, an engine Batch on a
+// cold cache (structural dedup + shared-clause compilation), and a warm
+// engine whose memo cache answers every repeat outright.
+func BenchmarkClassifyBatch(b *testing.B) {
+	specs := []string{
+		"G !(c1 & c2)", "F done", "G p | F q",
+		"G (req -> F ack)", "F G stable", "G F e -> G F t",
+	}
+	const copies = 4
+	var formulas []ltl.Formula
+	for i := 0; i < copies; i++ {
+		for _, s := range specs {
+			formulas = append(formulas, ltl.MustParse(s))
+		}
+	}
+	reqs := make([]temporal.BatchRequest, len(formulas))
+	for i, f := range formulas {
+		reqs[i] = temporal.BatchRequest{Formula: f}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range formulas {
+				if _, err := core.ClassifyFormula(f, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := temporal.NewEngine(temporal.WithParallelism(4))
+			for _, r := range eng.Batch(context.Background(), reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := temporal.NewEngine(temporal.WithParallelism(4))
+		eng.Batch(context.Background(), reqs) // warm the memo cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.Batch(context.Background(), reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
 }
 
 // --- micro-benchmarks: temporal logic --------------------------------------

@@ -20,9 +20,19 @@
 // Observability: -stats prints a span tree, per-stage timing summary and
 // counter values to stderr after the run; -trace FILE writes every span
 // and metric as JSON lines for offline analysis.
+//
+// Batch mode classifies many formulas at once on a worker pool:
+//
+//	classify -batch spec.txt -jobs 4
+//
+// with one formula per line ('#' comments); structurally identical
+// formulas and shared normal-form clauses are deduplicated by the
+// engine's memo cache.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +51,14 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	// Malformed inputs must produce a one-line diagnostic and a non-zero
+	// exit, never a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	props := fs.String("props", "", "comma-separated extra propositions")
@@ -49,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	regexExpr := fs.String("regex", "", "finitary regular expression for -op")
 	alphaStr := fs.String("alphabet", "ab", "letters of the alphabet for -op")
 	autFile := fs.String("automaton", "", "file with a Streett automaton in the textual format")
+	batchFile := fs.String("batch", "", "file with one formula per line ('#' comments): classify all at once")
+	jobs := fs.Int("jobs", 0, "engine worker-pool bound for -batch (0 = number of CPUs)")
 	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
 	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
@@ -59,27 +78,108 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = dispatch(fs, *autFile, *op, *regexExpr, *alphaStr, *props, stdout)
+	err = dispatch(fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, *jobs, stdout)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func dispatch(fs *flag.FlagSet, autFile, op, regexExpr, alphaStr, props string, stdout io.Writer) error {
+func dispatch(fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, jobs int, stdout io.Writer) error {
+	// One engine per invocation: a CLI run is one-shot, so the memo cache
+	// only serves within-run sharing (batch dedup, repeated subterms).
+	eng := temporal.NewEngine(engineOpts(jobs)...)
+	if batchFile != "" {
+		return classifyBatch(batchFile, props, eng, stdout)
+	}
 	if autFile != "" {
-		return classifyAutomatonFile(autFile, stdout)
+		return classifyAutomatonFile(autFile, eng, stdout)
 	}
 	if op != "" {
-		return classifyOperator(op, regexExpr, alphaStr, stdout)
+		return classifyOperator(op, regexExpr, alphaStr, eng, stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one formula argument")
 	}
-	return classifyFormula(fs.Arg(0), props, stdout)
+	return classifyFormula(fs.Arg(0), props, eng, stdout)
 }
 
-func classifyFormula(input, extraProps string, w io.Writer) error {
+func engineOpts(jobs int) []temporal.EngineOption {
+	if jobs > 0 {
+		return []temporal.EngineOption{temporal.WithParallelism(jobs)}
+	}
+	return nil
+}
+
+// readFormulaLines reads one formula per line, skipping blanks and '#'
+// comments.
+func readFormulaLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var inputs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		inputs = append(inputs, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return inputs, nil
+}
+
+func classifyBatch(path, extraProps string, eng *temporal.Engine, w io.Writer) error {
+	inputs, err := readFormulaLines(path)
+	if err != nil {
+		return err
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("no formulas in %s (empty input file)", path)
+	}
+	var props []string
+	if extraProps != "" {
+		props = strings.Split(extraProps, ",")
+	}
+	reqs := make([]temporal.BatchRequest, len(inputs))
+	for i, in := range inputs {
+		f, err := temporal.ParseFormula(in)
+		if err != nil {
+			return fmt.Errorf("parse %q: %w", in, err)
+		}
+		reqs[i] = temporal.BatchRequest{Formula: f, Props: props}
+	}
+	results := eng.Batch(context.Background(), reqs)
+	fmt.Fprintf(w, "%-36s %-12s %-7s %s\n", "formula", "class", "states", "all classes")
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("classify %q: %w", inputs[i], r.Err)
+		}
+		fmt.Fprintf(w, "%-36s %-12v %-7d %v\n",
+			inputs[i], r.Classification.Lowest(), r.Automaton.NumStates(), r.Classification.Classes())
+	}
+	st := eng.CacheStats()
+	fmt.Fprintf(w, "\n%d formulas, %d unique automata; cache: %d hits, %d misses\n",
+		len(inputs), countDistinct(results), st.Hits, st.Misses)
+	return nil
+}
+
+func countDistinct(results []temporal.BatchResult) int {
+	seen := map[*temporal.Automaton]bool{}
+	for _, r := range results {
+		if r.Automaton != nil {
+			seen[r.Automaton] = true
+		}
+	}
+	return len(seen)
+}
+
+func classifyFormula(input, extraProps string, eng *temporal.Engine, w io.Writer) error {
 	f, err := temporal.ParseFormula(input)
 	if err != nil {
 		return err
@@ -97,11 +197,14 @@ func classifyFormula(input, extraProps string, w io.Writer) error {
 	fmt.Fprintf(w, "normal form       : %v\n", nf)
 	fmt.Fprintf(w, "syntactic class   : %v\n", syn)
 
-	aut, err := temporal.CompileFormula(f, propsOrNil(props, f))
+	aut, err := eng.CompileFormula(context.Background(), f, propsOrNil(props, f))
 	if err != nil {
 		return err
 	}
-	c := temporal.ClassifyAutomaton(aut)
+	c, err := eng.ClassifyAutomaton(context.Background(), aut)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
 	fmt.Fprintf(w, "semantic class    : %v\n", c.Lowest())
 	fmt.Fprintf(w, "all classes       : %v\n", c.Classes())
@@ -123,16 +226,22 @@ func propsOrNil(props []string, f temporal.Formula) []string {
 	return props
 }
 
-func classifyAutomatonFile(path string, w io.Writer) error {
+func classifyAutomatonFile(path string, eng *temporal.Engine, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	if strings.TrimSpace(string(data)) == "" {
+		return fmt.Errorf("automaton file %s is empty", path)
 	}
 	aut, err := omega.ParseText(string(data))
 	if err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	c := temporal.ClassifyAutomaton(aut)
+	c, err := eng.ClassifyAutomaton(context.Background(), aut)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "automaton         : %d states, %d Streett pairs over %v\n",
 		aut.NumStates(), aut.NumPairs(), aut.Alphabet())
 	fmt.Fprintf(w, "semantic class    : %v\n", c.Lowest())
@@ -150,7 +259,7 @@ func classifyAutomatonFile(path string, w io.Writer) error {
 	return nil
 }
 
-func classifyOperator(op, regexExpr, alphaStr string, w io.Writer) error {
+func classifyOperator(op, regexExpr, alphaStr string, eng *temporal.Engine, w io.Writer) error {
 	if regexExpr == "" {
 		return fmt.Errorf("-op needs -regex")
 	}
@@ -175,7 +284,10 @@ func classifyOperator(op, regexExpr, alphaStr string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown operator %q (want A, E, R or P)", op)
 	}
-	c := temporal.ClassifyAutomaton(aut)
+	c, err := eng.ClassifyAutomaton(context.Background(), aut)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "property          : %s(%s) over %v\n", strings.ToUpper(op), regexExpr, alpha)
 	fmt.Fprintf(w, "automaton         : %d states, %d Streett pairs\n", aut.NumStates(), aut.NumPairs())
 	fmt.Fprintf(w, "semantic class    : %v\n", c.Lowest())

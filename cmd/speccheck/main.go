@@ -9,10 +9,16 @@
 //
 //	speccheck "G !(c1 & c2)" "G (w1 -> F c1)"
 //	speccheck -f spec.txt        # one formula per line, # comments
+//	speccheck -f spec.txt -jobs 4   # classify the list on a worker pool
+//
+// The requirement list is classified as one engine batch: structurally
+// identical requirements are deduplicated and distinct ones classified
+// concurrently (bounded by -jobs; 0 means the number of CPUs).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,9 +37,17 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string) (int, error) {
+func run(args []string) (code int, err error) {
+	// Malformed inputs must produce a one-line diagnostic and a non-zero
+	// exit, never a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			code, err = 0, fmt.Errorf("internal error: %v", r)
+		}
+	}()
 	fs := flag.NewFlagSet("speccheck", flag.ContinueOnError)
 	file := fs.String("f", "", "file with one formula per line ('#' comments)")
+	jobs := fs.Int("jobs", 0, "engine worker-pool bound (0 = number of CPUs)")
 	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
 	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
@@ -43,14 +57,14 @@ func run(args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	code, err := check(fs, *file)
+	code, err = check(fs, *file, *jobs)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return code, err
 }
 
-func check(fs *flag.FlagSet, file string) (int, error) {
+func check(fs *flag.FlagSet, file string, jobs int) (int, error) {
 	var inputs []string
 	if file != "" {
 		f, err := os.Open(file)
@@ -69,32 +83,42 @@ func check(fs *flag.FlagSet, file string) (int, error) {
 		if err := sc.Err(); err != nil {
 			return 0, err
 		}
+		if len(inputs) == 0 && fs.NArg() == 0 {
+			return 0, fmt.Errorf("no formulas given (input file %s is empty)", file)
+		}
 	}
 	inputs = append(inputs, fs.Args()...)
 	if len(inputs) == 0 {
 		return 0, fmt.Errorf("no formulas given")
 	}
 
-	counts := map[temporal.Class]int{}
-	hasLiveness := false
-	fmt.Printf("%-36s %-12s %-9s %s\n", "requirement", "class", "liveness", "reading")
-	for _, in := range inputs {
+	reqs := make([]temporal.BatchRequest, len(inputs))
+	for i, in := range inputs {
 		f, err := temporal.ParseFormula(in)
 		if err != nil {
 			return 0, fmt.Errorf("parse %q: %w", in, err)
 		}
-		c, err := temporal.Classify(f)
-		if err != nil {
-			return 0, fmt.Errorf("classify %q: %w", in, err)
+		reqs[i] = temporal.BatchRequest{Formula: f}
+	}
+	var opts []temporal.EngineOption
+	if jobs > 0 {
+		opts = append(opts, temporal.WithParallelism(jobs))
+	}
+	eng := temporal.NewEngine(opts...)
+	results := eng.Batch(context.Background(), reqs)
+
+	counts := map[temporal.Class]int{}
+	hasLiveness := false
+	fmt.Printf("%-36s %-12s %-9s %s\n", "requirement", "class", "liveness", "reading")
+	for i, r := range results {
+		if r.Err != nil {
+			return 0, fmt.Errorf("classify %q: %w", inputs[i], r.Err)
 		}
-		aut, err := temporal.CompileFormula(f, nil)
-		if err != nil {
-			return 0, err
-		}
-		live := temporal.IsLiveness(aut)
+		c := r.Classification
+		live := temporal.IsLiveness(r.Automaton)
 		hasLiveness = hasLiveness || live
 		counts[c.Lowest()]++
-		fmt.Printf("%-36s %-12v %-9v %s\n", in, c.Lowest(), live, reading(c.Lowest()))
+		fmt.Printf("%-36s %-12v %-9v %s\n", inputs[i], c.Lowest(), live, reading(c.Lowest()))
 	}
 
 	fmt.Println()

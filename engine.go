@@ -1,0 +1,126 @@
+package temporal
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ltl"
+	"repro/internal/omega"
+)
+
+// Engine is the concurrent, memoizing execution layer for classification
+// and model checking. It runs the independent per-class checks of §5.1
+// and the per-clause sub-automaton constructions of a compilation on a
+// bounded worker pool, and memoizes results under structural keys in a
+// size-bounded LRU cache, so repeated and structurally identical
+// properties are answered without recomputation.
+//
+// Construct one with NewEngine and reuse it — the cache only pays off
+// across calls. The package-level free functions (Classify,
+// ClassifyAutomaton, Contains, …) are convenience forms that route
+// through a shared default engine.
+type Engine = engine.Engine
+
+// EngineOption configures an Engine at construction.
+type EngineOption = engine.Option
+
+// EngineObserver receives engine events ("cache.hit", "cache.miss",
+// "batch.unique"); see WithObserver.
+type EngineObserver = engine.Observer
+
+// CacheStats is a snapshot of an engine's memo-cache traffic.
+type CacheStats = engine.CacheStats
+
+// BatchRequest is one Engine.Batch work item: exactly one of Formula or
+// Automaton must be set; Props qualifies a formula request as in
+// CompileFormula.
+type BatchRequest = engine.Request
+
+// BatchResult is the outcome of one Batch item, positionally matching
+// the request slice.
+type BatchResult = engine.Result
+
+// NewEngine builds an Engine. By default the worker pool is bounded by
+// runtime.GOMAXPROCS(0) and the memo cache holds engine.DefaultCacheSize
+// entries; override with WithParallelism, WithCacheSize, WithObserver.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithParallelism bounds the engine's worker pool to n concurrent tasks
+// (n < 1 means fully sequential).
+func WithParallelism(n int) EngineOption { return engine.WithParallelism(n) }
+
+// WithCacheSize bounds the engine's memo cache to n entries; n <= 0
+// disables caching.
+func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
+
+// WithObserver registers a sink for engine events. Observers must be
+// safe for concurrent use.
+func WithObserver(o EngineObserver) EngineOption { return engine.WithObserver(o) }
+
+// Typed sentinel errors, matchable with errors.Is (and errors.As for
+// *ParseError).
+var (
+	// ErrCanceled is reported by the context-taking entry points when
+	// the operation stopped because its context was canceled; the
+	// context's own error is wrapped alongside.
+	ErrCanceled = engine.ErrCanceled
+	// ErrNotOmegaDeterministic is reported when an automaton definition
+	// is not complete deterministic (missing, duplicate or out-of-range
+	// transitions).
+	ErrNotOmegaDeterministic = omega.ErrNotOmegaDeterministic
+	// ErrNotInClass is reported by the canonicalizers when the property
+	// lies outside the requested class.
+	ErrNotInClass = omega.ErrNotInClass
+	// ErrNotNormalizable is reported for formulas outside the
+	// normalizable fragment of §4.
+	ErrNotNormalizable = core.ErrNotNormalizable
+)
+
+// ParseError is the typed error returned by ParseFormula; it carries the
+// input and the byte offset of the offending token.
+type ParseError = ltl.ParseError
+
+// defaultEngine backs the package-level convenience functions. It is
+// constructed once with the default options; programs wanting their own
+// parallelism/cache bounds or observers should construct an Engine with
+// NewEngine and call its methods.
+var defaultEngine = engine.New()
+
+// DefaultEngine returns the shared engine behind the package-level
+// convenience functions (useful to inspect its CacheStats).
+func DefaultEngine() *Engine { return defaultEngine }
+
+// ClassifyCtx is Classify with cooperative cancellation: classification
+// aborts promptly with ErrCanceled when ctx is canceled.
+func ClassifyCtx(ctx context.Context, f Formula) (Classification, error) {
+	return defaultEngine.ClassifyFormula(ctx, f, nil)
+}
+
+// ClassifyAutomatonCtx is ClassifyAutomaton with cooperative
+// cancellation and an error result.
+func ClassifyAutomatonCtx(ctx context.Context, a *Automaton) (Classification, error) {
+	return defaultEngine.ClassifyAutomaton(ctx, a)
+}
+
+// CompileFormulaCtx is CompileFormula with cooperative cancellation.
+func CompileFormulaCtx(ctx context.Context, f Formula, props []string) (*Automaton, error) {
+	return defaultEngine.CompileFormula(ctx, f, props)
+}
+
+// ContainsCtx is Contains with cooperative cancellation.
+func ContainsCtx(ctx context.Context, a, b *Automaton) (bool, Word, error) {
+	return defaultEngine.Contains(ctx, a, b)
+}
+
+// EquivalentCtx is Equivalent with cooperative cancellation.
+func EquivalentCtx(ctx context.Context, a, b *Automaton) (bool, Word, error) {
+	return defaultEngine.Equivalent(ctx, a, b)
+}
+
+// ClassifyBatch classifies many formulas/automata at once on the default
+// engine: structurally identical requests are deduplicated and distinct
+// ones run concurrently. Results match the request slice positionally.
+func ClassifyBatch(ctx context.Context, reqs []BatchRequest) []BatchResult {
+	return defaultEngine.Batch(ctx, reqs)
+}

@@ -1,11 +1,146 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/omega"
 )
 
 var cntClassifications = obs.NewCounter("classify.automaton.calls")
+
+// Analysis is the shared state-space analysis behind the §5.1 decision
+// procedures: the reachable region and the live/co-live restrictions that
+// every per-class check consults. Computing it once and running the four
+// checks against it is what lets the engine execute the checks
+// concurrently — Analysis is immutable after Analyze returns, so the
+// check methods are safe for concurrent use.
+type Analysis struct {
+	a           *omega.Automaton
+	reach       []bool
+	liveReach   []bool
+	coLiveReach []bool
+}
+
+// Analyze precomputes the reachable, live-reachable and co-live-reachable
+// state sets of the automaton.
+func Analyze(a *omega.Automaton) *Analysis {
+	reach := a.Reachable()
+	live := a.LiveStates()
+	coLive := a.CoLiveStates()
+	n := a.NumStates()
+	liveReach := make([]bool, n)
+	coLiveReach := make([]bool, n)
+	for q := 0; q < n; q++ {
+		liveReach[q] = reach[q] && live[q]
+		coLiveReach[q] = reach[q] && coLive[q]
+	}
+	return &Analysis{a: a, reach: reach, liveReach: liveReach, coLiveReach: coLiveReach}
+}
+
+// Automaton returns the analyzed automaton.
+func (an *Analysis) Automaton() *omega.Automaton { return an.a }
+
+// Safety decides the safety (closed) condition: no accessible rejecting
+// cycle within the live region — every run that stays inside Pref(Π)
+// forever is accepted.
+func (an *Analysis) Safety(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	sub := obs.Start("classify.safety")
+	defer sub.End()
+	ok := an.a.RejectingCycleWithin(an.liveReach) == nil
+	sub.Bool("safety", ok)
+	return ok, nil
+}
+
+// Guarantee decides the guarantee (open) condition: dually, no accessible
+// accepting cycle within the co-live region.
+func (an *Analysis) Guarantee(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	sub := obs.Start("classify.guarantee")
+	defer sub.End()
+	ok := an.a.AcceptingCycleWithin(an.coLiveReach) == nil
+	sub.Bool("guarantee", ok)
+	return ok, nil
+}
+
+// Recurrence decides Landweber's G_δ condition: the accepting family F is
+// closed under accessible supersets — no rejecting cycle contains an
+// accepting one.
+func (an *Analysis) Recurrence(ctx context.Context) (bool, error) {
+	sub := obs.Start("classify.recurrence")
+	defer sub.End()
+	ok, err := isRecurrence(ctx, an.a, an.reach)
+	if err != nil {
+		return false, err
+	}
+	sub.Bool("recurrence", ok)
+	return ok, nil
+}
+
+// Persistence decides the F_σ condition: F is closed under accessible
+// subsets — no accepting cycle contains a rejecting one.
+func (an *Analysis) Persistence(ctx context.Context) (bool, error) {
+	sub := obs.Start("classify.persistence")
+	defer sub.End()
+	ok, err := isPersistence(ctx, an.a, an.reach)
+	if err != nil {
+		return false, err
+	}
+	sub.Bool("persistence", ok)
+	return ok, nil
+}
+
+// ReactivityRank computes Wagner's exact reactivity rank via alternating
+// chains of accessible cycles (see chains.go).
+func (an *Analysis) ReactivityRank(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	sub := obs.Start("classify.rank.reactivity")
+	defer sub.End()
+	r := reactivityRank(an.a, an.reach)
+	sub.Int("reactivity_rank", r)
+	return r, nil
+}
+
+// ObligationRank computes the exact obligation rank; only meaningful when
+// the property is an obligation property.
+func (an *Analysis) ObligationRank(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	sub := obs.Start("classify.rank.obligation")
+	defer sub.End()
+	r := obligationRank(an.a, an.reach)
+	sub.Int("obligation_rank", r)
+	return r, nil
+}
+
+// Resolve assembles a Classification from the four per-class verdicts,
+// applying the structural containments of Figure 1: safety and guarantee
+// are contained in recurrence and persistence (the semantic procedures
+// agree, but the containment is made structural), and obligation =
+// recurrence ∩ persistence.
+func Resolve(safety, guarantee, recurrence, persistence bool) Classification {
+	c := Classification{
+		Safety:      safety,
+		Guarantee:   guarantee,
+		Recurrence:  recurrence,
+		Persistence: persistence,
+		Reactivity:  true,
+	}
+	if c.Safety || c.Guarantee {
+		c.Recurrence = true
+		c.Persistence = true
+	}
+	c.Obligation = c.Recurrence && c.Persistence
+	return c
+}
 
 // ClassifyAutomaton classifies the property specified by a deterministic
 // Streett automaton into the hierarchy — the decision procedures of §5.1.
@@ -25,64 +160,50 @@ var cntClassifications = obs.NewCounter("classify.automaton.calls")
 //     "obligation = recurrence ∩ persistence").
 //   - ranks: Wagner's alternating chains (see chains.go).
 func ClassifyAutomaton(a *omega.Automaton) Classification {
+	c, _ := ClassifyAutomatonCtx(context.Background(), a)
+	return c
+}
+
+// ClassifyAutomatonCtx is ClassifyAutomaton with cooperative cancellation:
+// the context is polled between and inside the per-class checks, so
+// classification of a large automaton aborts promptly when the caller
+// cancels. The checks run sequentially here; internal/engine runs them
+// concurrently on a worker pool.
+func ClassifyAutomatonCtx(ctx context.Context, a *omega.Automaton) (Classification, error) {
 	sp := obs.Start("classify.automaton").Int("states", a.NumStates()).Int("pairs", a.NumPairs())
 	defer sp.End()
 	cntClassifications.Inc()
-	reach := a.Reachable()
-	live := a.LiveStates()
-	coLive := a.CoLiveStates()
-	n := a.NumStates()
+	an := Analyze(a)
 
-	liveReach := make([]bool, n)
-	coLiveReach := make([]bool, n)
-	for q := 0; q < n; q++ {
-		liveReach[q] = reach[q] && live[q]
-		coLiveReach[q] = reach[q] && coLive[q]
+	safety, err := an.Safety(ctx)
+	if err != nil {
+		return Classification{}, err
 	}
-
-	c := Classification{Reactivity: true}
-	func() {
-		sub := obs.Start("classify.safety")
-		defer sub.End()
-		c.Safety = a.RejectingCycleWithin(liveReach) == nil
-		sub.Bool("safety", c.Safety)
-	}()
-	func() {
-		sub := obs.Start("classify.guarantee")
-		defer sub.End()
-		c.Guarantee = a.AcceptingCycleWithin(coLiveReach) == nil
-		sub.Bool("guarantee", c.Guarantee)
-	}()
-	func() {
-		sub := obs.Start("classify.recurrence")
-		defer sub.End()
-		c.Recurrence = isRecurrence(a, reach)
-		sub.Bool("recurrence", c.Recurrence)
-	}()
-	func() {
-		sub := obs.Start("classify.persistence")
-		defer sub.End()
-		c.Persistence = isPersistence(a, reach)
-		sub.Bool("persistence", c.Persistence)
-	}()
-	// Safety and guarantee are contained in recurrence and persistence;
-	// the semantic procedures agree, but make the containment structural.
-	if c.Safety || c.Guarantee {
-		c.Recurrence = true
-		c.Persistence = true
+	guarantee, err := an.Guarantee(ctx)
+	if err != nil {
+		return Classification{}, err
 	}
-	c.Obligation = c.Recurrence && c.Persistence
+	recurrence, err := an.Recurrence(ctx)
+	if err != nil {
+		return Classification{}, err
+	}
+	persistence, err := an.Persistence(ctx)
+	if err != nil {
+		return Classification{}, err
+	}
+	c := Resolve(safety, guarantee, recurrence, persistence)
 
-	func() {
-		sub := obs.Start("classify.ranks")
-		defer sub.End()
-		c.ReactivityRank = reactivityRank(a, reach)
-		if c.Obligation {
-			c.ObligationRank = obligationRank(a, reach)
-		}
-		sub.Int("reactivity_rank", c.ReactivityRank).Int("obligation_rank", c.ObligationRank)
-	}()
-	return c
+	sub := obs.Start("classify.ranks")
+	c.ReactivityRank, err = an.ReactivityRank(ctx)
+	if err == nil && c.Obligation {
+		c.ObligationRank, err = an.ObligationRank(ctx)
+	}
+	sub.Int("reactivity_rank", c.ReactivityRank).Int("obligation_rank", c.ObligationRank)
+	sub.End()
+	if err != nil {
+		return Classification{}, err
+	}
+	return c, nil
 }
 
 // isRecurrence checks Landweber's G_δ condition: there must be no
@@ -91,15 +212,21 @@ func ClassifyAutomaton(a *omega.Automaton) Classification {
 // connected component S of the graph restricted to reachable states
 // outside R_i with S ⊄ P_i; conversely any accepting J inside such an S
 // extends to a violating A by routing through a ¬P_i state of S.
-func isRecurrence(a *omega.Automaton, reach []bool) bool {
+func isRecurrence(ctx context.Context, a *omega.Automaton, reach []bool) (bool, error) {
 	n := a.NumStates()
 	for i := 0; i < a.NumPairs(); i++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		r, p := a.PairVectors(i)
 		allowed := make([]bool, n)
 		for q := 0; q < n; q++ {
 			allowed[q] = reach[q] && !r[q]
 		}
 		for _, comp := range a.SCCs(allowed) {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			if !a.IsCyclic(comp) {
 				continue
 			}
@@ -114,11 +241,11 @@ func isRecurrence(a *omega.Automaton, reach []bool) bool {
 				continue
 			}
 			if a.AcceptingCycleWithin(a.StateSet(comp)) != nil {
-				return false
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 // isPersistence checks the F_σ condition: no accessible accepting cycle A
@@ -126,28 +253,36 @@ func isRecurrence(a *omega.Automaton, reach []bool) bool {
 // refinement: an accepting cycle inside a component S either is S itself
 // (when S is accepting — then any rejecting subcycle of S violates), or
 // lies inside the P-restriction of S's broken pairs.
-func isPersistence(a *omega.Automaton, reach []bool) bool {
-	return !persistenceViolationWithin(a, reach)
+func isPersistence(ctx context.Context, a *omega.Automaton, reach []bool) (bool, error) {
+	v, err := persistenceViolationWithin(ctx, a, reach)
+	return !v, err
 }
 
-func persistenceViolationWithin(a *omega.Automaton, allowed []bool) bool {
+func persistenceViolationWithin(ctx context.Context, a *omega.Automaton, allowed []bool) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	for _, comp := range a.SCCs(allowed) {
 		if !a.IsCyclic(comp) {
 			continue
 		}
-		if persistenceViolationInSCC(a, comp) {
-			return true
+		v, err := persistenceViolationInSCC(ctx, a, comp)
+		if err != nil {
+			return false, err
+		}
+		if v {
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
-func persistenceViolationInSCC(a *omega.Automaton, comp []int) bool {
+func persistenceViolationInSCC(ctx context.Context, a *omega.Automaton, comp []int) (bool, error) {
 	bad := a.BrokenPairs(comp)
 	if len(bad) == 0 {
 		// comp itself is an accepting cycle: a violation exists iff it
 		// contains any rejecting cycle.
-		return a.RejectingCycleWithin(a.StateSet(comp)) != nil
+		return a.RejectingCycleWithin(a.StateSet(comp)) != nil, nil
 	}
 	restricted := make([]bool, a.NumStates())
 	count := 0
@@ -166,7 +301,7 @@ func persistenceViolationInSCC(a *omega.Automaton, comp []int) bool {
 		}
 	}
 	if count == 0 {
-		return false
+		return false, nil
 	}
-	return persistenceViolationWithin(a, restricted)
+	return persistenceViolationWithin(ctx, a, restricted)
 }

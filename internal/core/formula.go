@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -1009,6 +1010,14 @@ func minexFormula(p, q ltl.Formula) ltl.Formula {
 // propositions) — Proposition 5.3. Each clause compiles to the
 // structurally matching κ-automaton and the conjunction to their product.
 func CompileFormula(f ltl.Formula, props []string) (*omega.Automaton, error) {
+	return CompileFormulaCtx(context.Background(), f, props)
+}
+
+// CompileFormulaCtx is CompileFormula with cooperative cancellation: the
+// context is polled between clause compilations and threaded into the
+// final product/reduction, so compiling a large conjunction aborts
+// promptly when the caller cancels.
+func CompileFormulaCtx(ctx context.Context, f ltl.Formula, props []string) (*omega.Automaton, error) {
 	if props == nil {
 		props = ltl.Props(f)
 	}
@@ -1019,13 +1028,19 @@ func CompileFormula(f ltl.Formula, props []string) (*omega.Automaton, error) {
 	if err != nil {
 		return nil, err
 	}
-	return CompileFormulaOver(f, alpha, props)
+	return CompileFormulaOverCtx(ctx, f, alpha, props)
 }
 
 // CompileFormulaOver compiles over an explicit alphabet; props must cover
 // the formula's propositions (used with plain-letter alphabets where a
 // proposition holds at its synonymous symbol).
 func CompileFormulaOver(f ltl.Formula, alpha *alphabet.Alphabet, props []string) (*omega.Automaton, error) {
+	return CompileFormulaOverCtx(context.Background(), f, alpha, props)
+}
+
+// CompileFormulaOverCtx is CompileFormulaOver with cooperative
+// cancellation.
+func CompileFormulaOverCtx(ctx context.Context, f ltl.Formula, alpha *alphabet.Alphabet, props []string) (*omega.Automaton, error) {
 	sp := obs.Start("compile.formula").Stringer("formula", f).Int("alphabet", alpha.Size())
 	defer sp.End()
 	cntFormulasCompiled.Inc()
@@ -1034,82 +1049,23 @@ func CompileFormulaOver(f ltl.Formula, alpha *alphabet.Alphabet, props []string)
 		return nil, err
 	}
 	sp.Int("clauses", len(nf.Clauses))
-	esat := func(p ltl.Formula) (*lang.Property, error) {
-		d, err := compile.PastToDFAOverAlphabet(p, alpha)
-		if err != nil {
-			return nil, err
-		}
-		return lang.FromDFA(d), nil
-	}
 	autos := make([]*omega.Automaton, 0, len(nf.Clauses))
 	for _, c := range nf.Clauses {
-		var a *omega.Automaton
-		switch {
-		case c.kindCount() == 1 && c.Safe != nil:
-			p, err := esat(c.Safe)
-			if err != nil {
-				return nil, err
-			}
-			a = lang.A(p)
-		case c.kindCount() == 1 && c.Guar != nil:
-			p, err := esat(c.Guar)
-			if err != nil {
-				return nil, err
-			}
-			a = lang.E(p)
-		case c.kindCount() == 1 && c.Rec != nil:
-			p, err := esat(c.Rec)
-			if err != nil {
-				return nil, err
-			}
-			a = lang.R(p)
-		case c.kindCount() == 1 && c.Pers != nil:
-			p, err := esat(c.Pers)
-			if err != nil {
-				return nil, err
-			}
-			a = lang.P(p)
-		case c.Safe != nil && c.Guar != nil && c.Rec == nil && c.Pers == nil:
-			ps, err := esat(c.Safe)
-			if err != nil {
-				return nil, err
-			}
-			pg, err := esat(c.Guar)
-			if err != nil {
-				return nil, err
-			}
-			a, err = lang.SimpleObligation(ps, pg)
-			if err != nil {
-				return nil, err
-			}
-		case c.Rec != nil || c.Pers != nil:
-			rArg, pArg := c.Rec, c.Pers
-			if rArg == nil {
-				rArg = ltl.False{}
-			}
-			if pArg == nil {
-				pArg = ltl.False{}
-			}
-			pr, err := esat(rArg)
-			if err != nil {
-				return nil, err
-			}
-			pp, err := esat(pArg)
-			if err != nil {
-				return nil, err
-			}
-			a, err = lang.SimpleReactivity(pr, pp)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("core: empty clause in normal form of %v", f)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := CompileClauseOver(ctx, c, alpha)
+		if err != nil {
+			return nil, err
 		}
 		autos = append(autos, a)
 	}
 	if len(autos) == 0 {
 		// No clauses: the formula reduced to true.
 		return omega.Universal(alpha), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	prod, err := omega.IntersectAll(autos...)
 	if err != nil {
@@ -1122,12 +1078,90 @@ func CompileFormulaOver(f ltl.Formula, alpha *alphabet.Alphabet, props []string)
 	return res, nil
 }
 
+// CompileClauseOver compiles a single normal-form clause to its
+// structurally matching κ-automaton over the given alphabet — the unit of
+// work the engine's memo cache deduplicates across batch items that share
+// clauses.
+func CompileClauseOver(ctx context.Context, c Clause, alpha *alphabet.Alphabet) (*omega.Automaton, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	esat := func(p ltl.Formula) (*lang.Property, error) {
+		d, err := compile.PastToDFAOverAlphabet(p, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return lang.FromDFA(d), nil
+	}
+	switch {
+	case c.kindCount() == 1 && c.Safe != nil:
+		p, err := esat(c.Safe)
+		if err != nil {
+			return nil, err
+		}
+		return lang.A(p), nil
+	case c.kindCount() == 1 && c.Guar != nil:
+		p, err := esat(c.Guar)
+		if err != nil {
+			return nil, err
+		}
+		return lang.E(p), nil
+	case c.kindCount() == 1 && c.Rec != nil:
+		p, err := esat(c.Rec)
+		if err != nil {
+			return nil, err
+		}
+		return lang.R(p), nil
+	case c.kindCount() == 1 && c.Pers != nil:
+		p, err := esat(c.Pers)
+		if err != nil {
+			return nil, err
+		}
+		return lang.P(p), nil
+	case c.Safe != nil && c.Guar != nil && c.Rec == nil && c.Pers == nil:
+		ps, err := esat(c.Safe)
+		if err != nil {
+			return nil, err
+		}
+		pg, err := esat(c.Guar)
+		if err != nil {
+			return nil, err
+		}
+		return lang.SimpleObligation(ps, pg)
+	case c.Rec != nil || c.Pers != nil:
+		rArg, pArg := c.Rec, c.Pers
+		if rArg == nil {
+			rArg = ltl.False{}
+		}
+		if pArg == nil {
+			pArg = ltl.False{}
+		}
+		pr, err := esat(rArg)
+		if err != nil {
+			return nil, err
+		}
+		pp, err := esat(pArg)
+		if err != nil {
+			return nil, err
+		}
+		return lang.SimpleReactivity(pr, pp)
+	default:
+		return nil, fmt.Errorf("core: empty clause in normal form")
+	}
+}
+
 // ClassifyFormula classifies a formula semantically: it compiles the
 // formula and runs the automata-view procedures.
 func ClassifyFormula(f ltl.Formula, props []string) (Classification, error) {
-	a, err := CompileFormula(f, props)
+	return ClassifyFormulaCtx(context.Background(), f, props)
+}
+
+// ClassifyFormulaCtx is ClassifyFormula with cooperative cancellation
+// threaded through compilation and classification.
+func ClassifyFormulaCtx(ctx context.Context, f ltl.Formula, props []string) (Classification, error) {
+	a, err := CompileFormulaCtx(ctx, f, props)
 	if err != nil {
 		return Classification{}, err
 	}
-	return ClassifyAutomaton(a), nil
+	return ClassifyAutomatonCtx(ctx, a)
 }

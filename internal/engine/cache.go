@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Process-wide cache traffic counters, exported through the obs metric
+// snapshot (engine.cache.*). Per-engine figures are available via
+// Engine.CacheStats.
+var (
+	cntCacheHits      = obs.NewCounter("engine.cache.hits")
+	cntCacheMisses    = obs.NewCounter("engine.cache.misses")
+	cntCacheEvictions = obs.NewCounter("engine.cache.evictions")
+)
+
+// memoCache is a size-bounded LRU memo table keyed by structural-hash
+// strings (canonical automaton encodings, normalized formula renderings).
+// All methods are safe for concurrent use; the zero value is not valid —
+// use newMemoCache.
+type memoCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type memoEntry struct {
+	key string
+	val any
+}
+
+func newMemoCache(max int) *memoCache {
+	if max <= 0 {
+		return nil
+	}
+	return &memoCache{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached value for key and records a hit or miss. A nil
+// cache misses unconditionally (caching disabled).
+func (c *memoCache) get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		cntCacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	cntCacheHits.Inc()
+	return el.Value.(*memoEntry).val, true
+}
+
+// put stores the value, evicting the least recently used entry when the
+// cache is full. A nil cache drops the value.
+func (c *memoCache) put(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*memoEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&memoEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*memoEntry).key)
+		c.evictions++
+		cntCacheEvictions.Inc()
+	}
+}
+
+// stats returns a consistent snapshot of the traffic counters.
+func (c *memoCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: int64(c.ll.Len())}
+}
+
+// CacheStats is a snapshot of an engine's memo-cache traffic.
+type CacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that had to compute
+	Evictions int64 // entries displaced by the LRU bound
+	Entries   int64 // entries currently resident
+}

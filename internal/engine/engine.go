@@ -1,0 +1,484 @@
+// Package engine runs the classification and model-checking procedures
+// on a bounded worker pool with a structural-hash memo cache. It is the
+// execution layer between the public temporal API and internal/core: the
+// independent per-class checks of a classification and the per-clause
+// sub-automaton constructions of a formula compilation execute
+// concurrently, and results are memoized under canonical keys (BFS
+// structural encodings for automata, normalized renderings for formulas)
+// so repeated and structurally identical work is answered from cache.
+//
+// All entry points take a context.Context and stop promptly when it is
+// canceled, reporting ErrCanceled.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/ltl"
+	"repro/internal/obs"
+	"repro/internal/omega"
+	"repro/internal/word"
+)
+
+var (
+	cntClassify = obs.NewCounter("engine.classify.calls")
+	cntCompile  = obs.NewCounter("engine.compile.calls")
+	cntBatch    = obs.NewCounter("engine.batch.calls")
+)
+
+// ErrCanceled is reported (via errors.Is) by every engine entry point
+// when the operation stopped because its context was canceled or its
+// deadline expired. The context's own error is wrapped alongside, so
+// errors.Is(err, context.Canceled) keeps working too.
+var ErrCanceled = errors.New("engine: operation canceled")
+
+// DefaultCacheSize is the memo-cache entry bound used when no
+// WithCacheSize option is given.
+const DefaultCacheSize = 1024
+
+// Observer receives engine events: "cache.hit", "cache.miss" (value 1
+// per lookup) and "batch.unique" (number of deduplicated work items per
+// Batch call). Observers must be safe for concurrent use; the engine may
+// invoke them from worker goroutines.
+type Observer func(event string, value int64)
+
+// Engine is a concurrent, memoizing façade over the core procedures. The
+// zero value is not usable; construct with New. An Engine is safe for
+// concurrent use and is meant to be long-lived — the memo cache only
+// pays off across calls.
+type Engine struct {
+	workers   int
+	cacheSize int
+	sem       chan struct{}
+	cache     *memoCache
+	observer  Observer
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism bounds the worker pool to n concurrent tasks; n < 1 is
+// clamped to 1 (fully sequential). The default is runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithCacheSize bounds the memo cache to n entries; n <= 0 disables
+// caching entirely. The default is DefaultCacheSize.
+func WithCacheSize(n int) Option {
+	return func(e *Engine) { e.cacheSize = n }
+}
+
+// WithObserver registers a sink for engine events.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.observer = o }
+}
+
+// New builds an Engine with the given options.
+func New(opts ...Option) *Engine {
+	e := &Engine{workers: runtime.GOMAXPROCS(0), cacheSize: DefaultCacheSize}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	e.sem = make(chan struct{}, e.workers)
+	e.cache = newMemoCache(e.cacheSize)
+	return e
+}
+
+// Parallelism returns the worker-pool bound.
+func (e *Engine) Parallelism() int { return e.workers }
+
+// CacheStats returns a snapshot of this engine's memo-cache traffic.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// wrapErr maps context errors to ErrCanceled (wrapping the original so
+// errors.Is matches both) and passes everything else through.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
+func (e *Engine) observe(event string, v int64) {
+	if e.observer != nil {
+		e.observer(event, v)
+	}
+}
+
+func (e *Engine) cacheGet(key string) (any, bool) {
+	v, ok := e.cache.get(key)
+	if ok {
+		e.observe("cache.hit", 1)
+	} else {
+		e.observe("cache.miss", 1)
+	}
+	return v, ok
+}
+
+func (e *Engine) cachePut(key string, v any) { e.cache.put(key, v) }
+
+// fanOut runs the tasks on the worker pool, returning the first error.
+// Pool tokens are acquired non-blockingly: when the pool is saturated a
+// task runs inline on the caller's goroutine, so nested fan-outs (Batch
+// items fanning out their per-class checks) can never deadlock — every
+// task always has somewhere to run.
+func (e *Engine) fanOut(ctx context.Context, tasks ...func() error) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, t := range tasks {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(t func() error) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				record(t())
+			}(t)
+		default:
+			record(t())
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ClassifyAutomaton classifies the property specified by a deterministic
+// Streett automaton, running the four independent per-class checks of
+// §5.1 and the reactivity rank concurrently on the worker pool. The
+// result is memoized under the automaton's structural key, so automata
+// with the same reachable structure (not just the same pointer) share
+// one classification.
+func (e *Engine) ClassifyAutomaton(ctx context.Context, a *omega.Automaton) (core.Classification, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Classification{}, wrapErr(err)
+	}
+	cntClassify.Inc()
+	// Same stage name as the sequential core path: the obs stage taxonomy
+	// stays stable whichever execution layer ran the classification.
+	sp := obs.Start("classify.automaton").Int("states", a.NumStates()).Int("pairs", a.NumPairs())
+	defer sp.End()
+	key := "classify|" + a.StructuralKey()
+	if v, ok := e.cacheGet(key); ok {
+		sp.Bool("cached", true)
+		return v.(core.Classification), nil
+	}
+	an := core.Analyze(a)
+	var (
+		safety, guarantee       bool
+		recurrence, persistence bool
+		reactivityRank          int
+	)
+	err := e.fanOut(ctx,
+		func() (err error) { safety, err = an.Safety(ctx); return },
+		func() (err error) { guarantee, err = an.Guarantee(ctx); return },
+		func() (err error) { recurrence, err = an.Recurrence(ctx); return },
+		func() (err error) { persistence, err = an.Persistence(ctx); return },
+		func() (err error) { reactivityRank, err = an.ReactivityRank(ctx); return },
+	)
+	if err != nil {
+		return core.Classification{}, wrapErr(err)
+	}
+	c := core.Resolve(safety, guarantee, recurrence, persistence)
+	c.ReactivityRank = reactivityRank
+	if c.Obligation {
+		if c.ObligationRank, err = an.ObligationRank(ctx); err != nil {
+			return core.Classification{}, wrapErr(err)
+		}
+	}
+	e.cachePut(key, c)
+	return c, nil
+}
+
+// resolveProps mirrors core.CompileFormulaCtx's proposition defaulting:
+// nil means the formula's own propositions, and degenerate formulas with
+// no propositions still need a one-proposition alphabet.
+func resolveProps(f ltl.Formula, props []string) []string {
+	if props == nil {
+		props = ltl.Props(f)
+	}
+	if len(props) == 0 {
+		props = []string{"p"}
+	}
+	return props
+}
+
+// CompileFormula builds the deterministic Streett automaton of the
+// formula over the valuation alphabet 2^props (Prop. 5.3). The clause
+// automata of the normal form compile concurrently, and both the whole
+// formula and each clause are memoized — batch items that share clauses
+// (a common fairness conjunct, say) compile the shared sub-automaton
+// once.
+func (e *Engine) CompileFormula(ctx context.Context, f ltl.Formula, props []string) (*omega.Automaton, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(err)
+	}
+	cntCompile.Inc()
+	props = resolveProps(f, props)
+	propsKey := strings.Join(props, "\x1f")
+	sp := obs.Start("compile.formula").Stringer("formula", f)
+	defer sp.End()
+	key := "compile|" + propsKey + "|" + f.String()
+	if v, ok := e.cacheGet(key); ok {
+		sp.Bool("cached", true)
+		return v.(*omega.Automaton), nil
+	}
+	alpha, err := alphabet.Valuations(props)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := core.Normalize(f)
+	if err != nil {
+		return nil, err
+	}
+	autos := make([]*omega.Automaton, len(nf.Clauses))
+	tasks := make([]func() error, len(nf.Clauses))
+	for i, c := range nf.Clauses {
+		i, c := i, c
+		tasks[i] = func() error {
+			ck := "clause|" + propsKey + "|" + c.Formula().String()
+			if v, ok := e.cacheGet(ck); ok {
+				autos[i] = v.(*omega.Automaton)
+				return nil
+			}
+			a, err := core.CompileClauseOver(ctx, c, alpha)
+			if err != nil {
+				return err
+			}
+			e.cachePut(ck, a)
+			autos[i] = a
+			return nil
+		}
+	}
+	if err := e.fanOut(ctx, tasks...); err != nil {
+		return nil, wrapErr(err)
+	}
+	var res *omega.Automaton
+	if len(autos) == 0 {
+		// No clauses: the formula reduced to true.
+		res = omega.Universal(alpha)
+	} else {
+		prod, err := omega.IntersectAll(autos...)
+		if err != nil {
+			return nil, err
+		}
+		res = prod.Reduce()
+	}
+	sp.Int("states", res.NumStates())
+	e.cachePut(key, res)
+	return res, nil
+}
+
+// ClassifyFormula compiles the formula and classifies the resulting
+// automaton; both steps hit the memo cache.
+func (e *Engine) ClassifyFormula(ctx context.Context, f ltl.Formula, props []string) (core.Classification, error) {
+	a, err := e.CompileFormula(ctx, f, props)
+	if err != nil {
+		return core.Classification{}, err
+	}
+	return e.ClassifyAutomaton(ctx, a)
+}
+
+// containsResult is the memoized value of a containment query.
+type containsResult struct {
+	ok bool
+	w  word.Lasso
+}
+
+// Contains decides L(a) ⊇ L(b) exactly, memoized on the pair of
+// structural keys; the witness word of a failed containment is cached
+// alongside the verdict.
+func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
+	if err := ctx.Err(); err != nil {
+		return false, word.Lasso{}, wrapErr(err)
+	}
+	key := "contains|" + a.StructuralKey() + "|" + b.StructuralKey()
+	if v, ok := e.cacheGet(key); ok {
+		r := v.(containsResult)
+		return r.ok, r.w, nil
+	}
+	ok, w, err := a.ContainsCtx(ctx, b)
+	if err != nil {
+		return false, word.Lasso{}, wrapErr(err)
+	}
+	e.cachePut(key, containsResult{ok: ok, w: w})
+	return ok, w, nil
+}
+
+// Equivalent decides exact language equality as containment both ways,
+// sharing the directional containment cache entries.
+func (e *Engine) Equivalent(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
+	ok, w, err := e.Contains(ctx, a, b)
+	if err != nil || !ok {
+		return ok, w, err
+	}
+	return e.Contains(ctx, b, a)
+}
+
+// Canonicalize rewrites the automaton into the paper's normal form for
+// the given class (Prop. 5.1, constructive direction), memoizing the
+// canonical automaton per (class, structural key). Only the four simple
+// classes have a canonical single-pair form; other classes report an
+// error. Failures (omega.ErrNotInClass) are not cached.
+func (e *Engine) Canonicalize(ctx context.Context, a *omega.Automaton, cl core.Class) (*omega.Automaton, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapErr(err)
+	}
+	key := fmt.Sprintf("canon|%d|%s", int(cl), a.StructuralKey())
+	if v, ok := e.cacheGet(key); ok {
+		return v.(*omega.Automaton), nil
+	}
+	var (
+		res *omega.Automaton
+		err error
+	)
+	switch cl {
+	case core.Safety:
+		res, err = a.ToSafetyAutomatonCtx(ctx)
+	case core.Guarantee:
+		res, err = a.ToGuaranteeAutomatonCtx(ctx)
+	case core.Recurrence:
+		res, err = a.ToRecurrenceAutomatonCtx(ctx)
+	case core.Persistence:
+		res, err = a.ToPersistenceAutomatonCtx(ctx)
+	default:
+		return nil, fmt.Errorf("engine: no canonical automaton form for class %v", cl)
+	}
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	e.cachePut(key, res)
+	return res, nil
+}
+
+// Request is one Batch work item: exactly one of Formula or Automaton
+// must be set. Props qualifies a Formula request as in CompileFormula.
+type Request struct {
+	Formula   ltl.Formula
+	Props     []string
+	Automaton *omega.Automaton
+}
+
+// Result is the outcome of one Batch item, positionally matching the
+// request slice. Automaton is the classified automaton (the compiled one
+// for formula requests).
+type Result struct {
+	Classification core.Classification
+	Automaton      *omega.Automaton
+	Err            error
+}
+
+// requestKey validates a request and returns its dedup key.
+func requestKey(r Request) (string, error) {
+	switch {
+	case r.Formula != nil && r.Automaton != nil:
+		return "", errors.New("engine: batch request sets both Formula and Automaton")
+	case r.Formula != nil:
+		props := resolveProps(r.Formula, r.Props)
+		return "f|" + strings.Join(props, "\x1f") + "|" + r.Formula.String(), nil
+	case r.Automaton != nil:
+		return "a|" + r.Automaton.StructuralKey(), nil
+	default:
+		return "", errors.New("engine: empty batch request (need Formula or Automaton)")
+	}
+}
+
+// Batch classifies many formulas and automata at once. Structurally
+// identical requests are deduplicated up front — each distinct property
+// is classified exactly once and its result fanned back to every
+// requesting position — and distinct items run concurrently on the
+// worker pool. Item errors are reported per position, never as a panic;
+// when the context is canceled, remaining items report ErrCanceled.
+func (e *Engine) Batch(ctx context.Context, reqs []Request) []Result {
+	cntBatch.Inc()
+	sp := obs.Start("engine.batch").Int("items", len(reqs))
+	defer sp.End()
+	results := make([]Result, len(reqs))
+
+	type group struct {
+		rep     Request
+		indices []int
+	}
+	groups := make(map[string]*group, len(reqs))
+	var order []string
+	for i, r := range reqs {
+		key, err := requestKey(r)
+		if err != nil {
+			results[i] = Result{Err: err}
+			continue
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: r}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.indices = append(g.indices, i)
+	}
+	sp.Int("unique", len(order))
+	e.observe("batch.unique", int64(len(order)))
+
+	var wg sync.WaitGroup
+	for _, key := range order {
+		g := groups[key]
+		select {
+		case <-ctx.Done():
+			err := wrapErr(ctx.Err())
+			for _, i := range g.indices {
+				results[i] = Result{Err: err}
+			}
+			continue
+		case e.sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			defer func() { <-e.sem }()
+			res := e.runRequest(ctx, g.rep)
+			for _, i := range g.indices {
+				results[i] = res
+			}
+		}(g)
+	}
+	wg.Wait()
+	return results
+}
+
+func (e *Engine) runRequest(ctx context.Context, r Request) Result {
+	if r.Automaton != nil {
+		c, err := e.ClassifyAutomaton(ctx, r.Automaton)
+		return Result{Classification: c, Automaton: r.Automaton, Err: err}
+	}
+	a, err := e.CompileFormula(ctx, r.Formula, r.Props)
+	if err != nil {
+		return Result{Err: err}
+	}
+	c, err := e.ClassifyAutomaton(ctx, a)
+	return Result{Classification: c, Automaton: a, Err: err}
+}

@@ -6,6 +6,20 @@ import (
 	"unicode"
 )
 
+// ParseError is the typed error returned by Parse: it carries the input,
+// the byte offset the parser was looking at, and a short message. It
+// replaces ad-hoc string errors at the public boundary so callers can
+// point at the offending position.
+type ParseError struct {
+	Input string // the full input being parsed
+	Pos   int    // byte offset into Input (len(Input) at end of input)
+	Msg   string // what went wrong, without position information
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ltl: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
 // Parse parses a formula in ASCII syntax.
 //
 // Grammar (precedence low → high):
@@ -21,8 +35,11 @@ import (
 // Propositions are identifiers beginning with a lowercase letter or '_'
 // (excluding the keywords true/false/first); the single uppercase letters
 // X F G U W Y Z S B O H are reserved operators.
+//
+// Errors are of type *ParseError and carry the byte offset of the
+// offending token.
 func Parse(input string) (Formula, error) {
-	p := &parser{toks: nil}
+	p := &parser{input: input}
 	if err := p.lex(input); err != nil {
 		return nil, err
 	}
@@ -31,7 +48,7 @@ func Parse(input string) (Formula, error) {
 		return nil, err
 	}
 	if p.pos != len(p.toks) {
-		return nil, fmt.Errorf("ltl: unexpected %q", p.toks[p.pos])
+		return nil, p.errHere(fmt.Sprintf("unexpected %q", p.toks[p.pos]))
 	}
 	return f, nil
 }
@@ -46,8 +63,25 @@ func MustParse(input string) Formula {
 }
 
 type parser struct {
-	toks []string
-	pos  int
+	input string
+	toks  []string
+	offs  []int // byte offset of each token in input
+	pos   int
+}
+
+func (p *parser) push(tok string, off int) {
+	p.toks = append(p.toks, tok)
+	p.offs = append(p.offs, off)
+}
+
+// errHere builds a ParseError at the current token (end of input when the
+// tokens are exhausted).
+func (p *parser) errHere(msg string) error {
+	off := len(p.input)
+	if p.pos < len(p.offs) {
+		off = p.offs[p.pos]
+	}
+	return &ParseError{Input: p.input, Pos: off, Msg: msg}
 }
 
 func (p *parser) lex(s string) error {
@@ -58,23 +92,23 @@ func (p *parser) lex(s string) error {
 		case c == ' ' || c == '\t' || c == '\n':
 			i++
 		case c == '(' || c == ')' || c == '!' || c == '&' || c == '|':
-			p.toks = append(p.toks, string(c))
+			p.push(string(c), i)
 			i++
 		case strings.HasPrefix(s[i:], "<->"):
-			p.toks = append(p.toks, "<->")
+			p.push("<->", i)
 			i += 3
 		case strings.HasPrefix(s[i:], "->"):
-			p.toks = append(p.toks, "->")
+			p.push("->", i)
 			i += 2
 		case unicode.IsLetter(rune(c)) || c == '_':
 			j := i
 			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
 				j++
 			}
-			p.toks = append(p.toks, s[i:j])
+			p.push(s[i:j], i)
 			i = j
 		default:
-			return fmt.Errorf("ltl: unexpected character %q at %d", string(c), i)
+			return &ParseError{Input: s, Pos: i, Msg: fmt.Sprintf("unexpected character %q", string(c))}
 		}
 	}
 	return nil
@@ -228,7 +262,7 @@ func (p *parser) parseAtom() (Formula, error) {
 			return nil, err
 		}
 		if p.peek() != ")" {
-			return nil, fmt.Errorf("ltl: missing ')'")
+			return nil, p.errHere("missing ')'")
 		}
 		p.next()
 		return f, nil
@@ -242,9 +276,9 @@ func (p *parser) parseAtom() (Formula, error) {
 		p.next()
 		return First(), nil
 	case t == "":
-		return nil, fmt.Errorf("ltl: unexpected end of input")
+		return nil, p.errHere("unexpected end of input")
 	case t == "U" || t == "W" || t == "S" || t == "B":
-		return nil, fmt.Errorf("ltl: operator %q needs a left operand", t)
+		return nil, p.errHere(fmt.Sprintf("operator %q needs a left operand", t))
 	case isIdent(t):
 		p.next()
 		if err := sanitizeName(t); err != nil {
@@ -252,7 +286,7 @@ func (p *parser) parseAtom() (Formula, error) {
 		}
 		return Prop{Name: t}, nil
 	default:
-		return nil, fmt.Errorf("ltl: unexpected token %q", t)
+		return nil, p.errHere(fmt.Sprintf("unexpected token %q", t))
 	}
 }
 

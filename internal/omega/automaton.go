@@ -10,6 +10,7 @@
 package omega
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,13 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/word"
 )
+
+// ErrNotOmegaDeterministic is returned when an automaton description is
+// not a complete deterministic predicate automaton: a state is missing a
+// transition on some symbol, has more than one, or a transition targets a
+// state outside the automaton. The paper's §5 machinery (and everything
+// built on it) requires complete determinism.
+var ErrNotOmegaDeterministic = errors.New("omega: automaton is not complete deterministic")
 
 // Pair is one Streett acceptance pair (R, P), each a per-state membership
 // vector.
@@ -47,11 +55,11 @@ func New(alpha *alphabet.Alphabet, trans [][]int, start int, pairs []Pair) (*Aut
 	k := alpha.Size()
 	for q, row := range trans {
 		if len(row) != k {
-			return nil, fmt.Errorf("omega: state %d has %d transitions for %d symbols", q, len(row), k)
+			return nil, fmt.Errorf("%w: state %d has %d transitions for %d symbols", ErrNotOmegaDeterministic, q, len(row), k)
 		}
 		for i, next := range row {
 			if next < 0 || next >= n {
-				return nil, fmt.Errorf("omega: transition (%d,%s) -> %d out of range", q, alpha.Symbol(i), next)
+				return nil, fmt.Errorf("%w: transition (%d,%s) -> %d out of range", ErrNotOmegaDeterministic, q, alpha.Symbol(i), next)
 			}
 		}
 	}

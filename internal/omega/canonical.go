@@ -1,6 +1,7 @@
 package omega
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -115,11 +116,17 @@ func (a *Automaton) Interior() *Automaton {
 // safety form (a single pair (∅, G) whose good region cannot be
 // re-entered) — possible exactly when the property is a safety property.
 func (a *Automaton) ToSafetyAutomaton() (*Automaton, error) {
+	return a.ToSafetyAutomatonCtx(context.Background())
+}
+
+// ToSafetyAutomatonCtx is ToSafetyAutomaton with cooperative cancellation
+// threaded into the verifying equivalence check.
+func (a *Automaton) ToSafetyAutomatonCtx(ctx context.Context) (*Automaton, error) {
 	sp := obs.Start("omega.canonical.safety").Int("in_states", len(a.trans))
 	defer sp.End()
 	candidate := a.SafetyClosure().Trim()
 	sp.Int("states", len(candidate.trans))
-	eq, ce, err := a.Equivalent(candidate)
+	eq, ce, err := a.EquivalentCtx(ctx, candidate)
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +141,17 @@ func (a *Automaton) ToSafetyAutomaton() (*Automaton, error) {
 // possible exactly when the property is a guarantee property, in which
 // case the property equals its own interior.
 func (a *Automaton) ToGuaranteeAutomaton() (*Automaton, error) {
+	return a.ToGuaranteeAutomatonCtx(context.Background())
+}
+
+// ToGuaranteeAutomatonCtx is ToGuaranteeAutomaton with cooperative
+// cancellation threaded into the verifying equivalence check.
+func (a *Automaton) ToGuaranteeAutomatonCtx(ctx context.Context) (*Automaton, error) {
 	sp := obs.Start("omega.canonical.guarantee").Int("in_states", len(a.trans))
 	defer sp.End()
 	candidate := a.Interior()
 	sp.Int("states", len(candidate.trans))
-	eq, ce, err := a.Equivalent(candidate)
+	eq, ce, err := a.EquivalentCtx(ctx, candidate)
 	if err != nil {
 		return nil, err
 	}
@@ -156,6 +169,12 @@ func (a *Automaton) ToGuaranteeAutomaton() (*Automaton, error) {
 // conditions is merged with the cyclic-counter product. Succeeds exactly
 // when the property is a recurrence property.
 func (a *Automaton) ToRecurrenceAutomaton() (*Automaton, error) {
+	return a.ToRecurrenceAutomatonCtx(context.Background())
+}
+
+// ToRecurrenceAutomatonCtx is ToRecurrenceAutomaton with cooperative
+// cancellation threaded into the verifying equivalence check.
+func (a *Automaton) ToRecurrenceAutomatonCtx(ctx context.Context) (*Automaton, error) {
 	sp := obs.Start("omega.canonical.recurrence").Int("in_states", len(a.trans)).Int("in_pairs", len(a.pairs))
 	defer sp.End()
 	n := len(a.trans)
@@ -179,7 +198,7 @@ func (a *Automaton) ToRecurrenceAutomaton() (*Automaton, error) {
 	}
 	merged := a.mergeBuchi(buchiSets)
 	sp.Int("states", len(merged.trans))
-	eq, ce, err := a.Equivalent(merged)
+	eq, ce, err := a.EquivalentCtx(ctx, merged)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +270,12 @@ func (a *Automaton) mergeBuchi(sets [][]bool) *Automaton {
 // eventually stay within the states that belong to accepting cycles.
 // Succeeds exactly when the property is a persistence property.
 func (a *Automaton) ToPersistenceAutomaton() (*Automaton, error) {
+	return a.ToPersistenceAutomatonCtx(context.Background())
+}
+
+// ToPersistenceAutomatonCtx is ToPersistenceAutomaton with cooperative
+// cancellation threaded into the verifying equivalence check.
+func (a *Automaton) ToPersistenceAutomatonCtx(ctx context.Context) (*Automaton, error) {
 	sp := obs.Start("omega.canonical.persistence").Int("in_states", len(a.trans))
 	defer sp.End()
 	n := len(a.trans)
@@ -261,7 +286,7 @@ func (a *Automaton) ToPersistenceAutomaton() (*Automaton, error) {
 	d := a.markAcceptingCycleStates(all)
 	pair := Pair{R: make([]bool, n), P: d}
 	candidate := MustNew(a.alpha, a.trans, a.start, []Pair{pair}).Trim()
-	eq, ce, err := a.Equivalent(candidate)
+	eq, ce, err := a.EquivalentCtx(ctx, candidate)
 	if err != nil {
 		return nil, err
 	}

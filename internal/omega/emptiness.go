@@ -1,6 +1,8 @@
 package omega
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -18,21 +20,44 @@ func (a *Automaton) acceptsCycleSet(set []int) bool {
 // it returns a cyclic state set J, contained in the allowed region, such
 // that J ∈ F and a run can realize inf = J; or nil if none exists.
 func (a *Automaton) findAcceptingSCC(allowed []bool) []int {
+	res, _ := a.findAcceptingSCCCtx(context.Background(), allowed)
+	return res
+}
+
+// findAcceptingSCCCtx is findAcceptingSCC with cooperative cancellation:
+// the context is polled once per component and per refinement level, so a
+// long-running search over a large product aborts promptly with ctx.Err().
+func (a *Automaton) findAcceptingSCCCtx(ctx context.Context, allowed []bool) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, comp := range a.SCCs(allowed) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !a.IsCyclic(comp) {
 			continue
 		}
-		if res := a.refineSCC(comp); res != nil {
-			return res
+		res, err := a.refineSCCCtx(ctx, comp)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // refineSCC checks one strongly connected, cyclic component: if it
 // violates some pairs, it restricts to the intersection of their P-sets
 // and recurses.
 func (a *Automaton) refineSCC(comp []int) []int {
+	res, _ := a.refineSCCCtx(context.Background(), comp)
+	return res
+}
+
+func (a *Automaton) refineSCCCtx(ctx context.Context, comp []int) ([]int, error) {
 	var bad []int
 	for i, p := range a.pairs {
 		meetsR, inP := false, true
@@ -49,7 +74,7 @@ func (a *Automaton) refineSCC(comp []int) []int {
 		}
 	}
 	if len(bad) == 0 {
-		return comp
+		return comp, nil
 	}
 	restricted := make([]bool, len(a.trans))
 	count := 0
@@ -67,9 +92,9 @@ func (a *Automaton) refineSCC(comp []int) []int {
 		}
 	}
 	if count == 0 {
-		return nil
+		return nil, nil
 	}
-	return a.findAcceptingSCC(restricted)
+	return a.findAcceptingSCCCtx(ctx, restricted)
 }
 
 // IsEmpty reports whether the automaton accepts no infinite word.

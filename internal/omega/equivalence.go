@@ -1,6 +1,7 @@
 package omega
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alphabet"
@@ -10,6 +11,14 @@ import (
 
 // Contains reports whether L(a) ⊇ L(b), exactly. On failure it returns a
 // witness lasso in L(b) − L(a).
+func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
+	return a.ContainsCtx(context.Background(), b)
+}
+
+// ContainsCtx is Contains with cooperative cancellation: the context is
+// polled between candidate broken pairs and inside the emptiness
+// refinement, so containment over a large product aborts promptly when
+// the caller cancels.
 //
 // Method: on the synchronous product, a counterexample is a reachable
 // cyclic set J accepted by b's (lifted) pairs and rejected by a's — i.e.
@@ -18,7 +27,7 @@ import (
 // (Q − P_i, ∅) forcing J ⊄ P_i, and runs the standard emptiness
 // refinement with b's pairs. This stays polynomial and needs no Rabin
 // complementation.
-func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
+func (a *Automaton) ContainsCtx(ctx context.Context, b *Automaton) (bool, word.Lasso, error) {
 	if !a.alpha.Equal(b.alpha) {
 		return false, word.Lasso{}, fmt.Errorf("omega: containment over different alphabets")
 	}
@@ -36,6 +45,9 @@ func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
 	reach := prod.Reachable()
 
 	for _, broken := range aPairs {
+		if err := ctx.Err(); err != nil {
+			return false, word.Lasso{}, err
+		}
 		allowed := make([]bool, n)
 		for q := 0; q < n; q++ {
 			allowed[q] = reach[q] && !broken.R[q]
@@ -50,7 +62,10 @@ func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
 			start: prod.start,
 			pairs: append(append([]Pair{}, bPairs...), forcing),
 		}
-		comp := search.findAcceptingSCC(allowed)
+		comp, err := search.findAcceptingSCCCtx(ctx, allowed)
+		if err != nil {
+			return false, word.Lasso{}, err
+		}
 		if comp == nil {
 			continue
 		}
@@ -71,14 +86,20 @@ func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
 // Equivalent reports whether L(a) = L(b), exactly. On failure the witness
 // lasso is in the symmetric difference.
 func (a *Automaton) Equivalent(b *Automaton) (bool, word.Lasso, error) {
-	ok, w, err := a.Contains(b)
+	return a.EquivalentCtx(context.Background(), b)
+}
+
+// EquivalentCtx is Equivalent with cooperative cancellation (see
+// ContainsCtx).
+func (a *Automaton) EquivalentCtx(ctx context.Context, b *Automaton) (bool, word.Lasso, error) {
+	ok, w, err := a.ContainsCtx(ctx, b)
 	if err != nil {
 		return false, word.Lasso{}, err
 	}
 	if !ok {
 		return false, w, nil
 	}
-	ok, w, err = b.Contains(a)
+	ok, w, err = b.ContainsCtx(ctx, a)
 	if err != nil {
 		return false, word.Lasso{}, err
 	}

@@ -134,14 +134,14 @@ func ParseText(input string) (*Automaton, error) {
 			return nil, fmt.Errorf("omega: line %d: transition symbol %q not in alphabet %v", e.line, e.sym, alpha)
 		}
 		if trans[e.from][si] >= 0 {
-			return nil, fmt.Errorf("omega: line %d: duplicate transition from %d on %q", e.line, e.from, e.sym)
+			return nil, fmt.Errorf("%w: line %d: duplicate transition from %d on %q", ErrNotOmegaDeterministic, e.line, e.from, e.sym)
 		}
 		trans[e.from][si] = e.to
 	}
 	for q, row := range trans {
 		for si, to := range row {
 			if to < 0 {
-				return nil, fmt.Errorf("omega: state %d missing transition on %q (automata must be complete)", q, alpha.Symbol(si))
+				return nil, fmt.Errorf("%w: state %d missing transition on %q (automata must be complete)", ErrNotOmegaDeterministic, q, alpha.Symbol(si))
 			}
 		}
 	}

@@ -1,0 +1,69 @@
+package omega
+
+import "strconv"
+
+// StructuralKey returns a canonical encoding of the automaton's reachable
+// part: states are renumbered in breadth-first order from the start state
+// (successors explored in symbol order), and the alphabet, transition
+// table and acceptance pairs are serialized into a compact string. Two
+// automata produce the same key iff their reachable parts are identical up
+// to state renumbering, which makes the key a sound memoization handle for
+// any language-level computation (classification, containment,
+// canonicalization): equal keys imply equal languages.
+//
+// The key deliberately does not quotient by bisimulation — it is a
+// structural hash, computable in O(n·k), not a language canonical form.
+// Combine with Reduce for stronger normalization before keying when the
+// extra sharing is worth the quotient cost.
+func (a *Automaton) StructuralKey() string {
+	n := len(a.trans)
+	k := a.alpha.Size()
+	pos := make([]int, n) // BFS position, -1 = not yet visited
+	for i := range pos {
+		pos[i] = -1
+	}
+	order := make([]int, 0, n)
+	pos[a.start] = 0
+	order = append(order, a.start)
+	for i := 0; i < len(order); i++ {
+		q := order[i]
+		for s := 0; s < k; s++ {
+			next := a.trans[q][s]
+			if pos[next] < 0 {
+				pos[next] = len(order)
+				order = append(order, next)
+			}
+		}
+	}
+
+	// Pre-size: alphabet + per-state rows + pairs bit vectors.
+	buf := make([]byte, 0, 16+len(order)*(k*4+2*len(a.pairs)))
+	for _, sym := range a.alpha.Symbols() {
+		buf = append(buf, sym...)
+		buf = append(buf, 0x1f)
+	}
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(len(order)), 10)
+	buf = append(buf, '|')
+	for _, q := range order {
+		for s := 0; s < k; s++ {
+			buf = strconv.AppendInt(buf, int64(pos[a.trans[q][s]]), 10)
+			buf = append(buf, ',')
+		}
+	}
+	buf = append(buf, '|')
+	for _, p := range a.pairs {
+		for _, q := range order {
+			b := byte('0')
+			if p.R[q] {
+				b |= 1
+			}
+			if p.P[q] {
+				b |= 2
+			}
+			buf = append(buf, b)
+		}
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}

@@ -15,6 +15,12 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# The engine package shares one mutex-guarded cache and a semaphore
+# across goroutines; run the lock-copy and struct-tag analyzers
+# explicitly over it and the facade that re-exports its types.
+echo "== go vet (engine: copylocks, structtag) =="
+go vet -copylocks -structtag ./internal/engine/ .
+
 echo "== go test -race =="
 go test -race ./...
 

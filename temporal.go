@@ -25,6 +25,7 @@
 package temporal
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -142,11 +143,20 @@ func SimpleReactivity(phi, psi *Property) (*Automaton, error) {
 }
 
 // Classify classifies a formula semantically: it compiles the formula to
-// a Streett automaton and runs the §5.1 decision procedures.
-func Classify(f Formula) (Classification, error) { return core.ClassifyFormula(f, nil) }
+// a Streett automaton and runs the §5.1 decision procedures. It is the
+// convenience form of Engine.ClassifyFormula on the default engine; use
+// ClassifyCtx for cancellation or NewEngine for a dedicated engine.
+func Classify(f Formula) (Classification, error) {
+	return defaultEngine.ClassifyFormula(context.Background(), f, nil)
+}
 
 // ClassifyAutomaton classifies the property specified by an automaton.
-func ClassifyAutomaton(a *Automaton) Classification { return core.ClassifyAutomaton(a) }
+// It is the convenience form of Engine.ClassifyAutomaton on the default
+// engine; use ClassifyAutomatonCtx for cancellation and error reporting.
+func ClassifyAutomaton(a *Automaton) Classification {
+	c, _ := defaultEngine.ClassifyAutomaton(context.Background(), a)
+	return c
+}
 
 // SyntacticClass classifies a formula by the shape of its normal form.
 func SyntacticClass(f Formula) (Class, NormalForm, error) { return core.SyntacticClass(f) }
@@ -155,9 +165,11 @@ func SyntacticClass(f Formula) (Class, NormalForm, error) { return core.Syntacti
 func Normalize(f Formula) (NormalForm, error) { return core.Normalize(f) }
 
 // CompileFormula builds a deterministic Streett automaton for the formula
-// over the valuation alphabet of its propositions (Prop. 5.3).
+// over the valuation alphabet of its propositions (Prop. 5.3). It is the
+// convenience form of Engine.CompileFormula on the default engine; use
+// CompileFormulaCtx for cancellation.
 func CompileFormula(f Formula, props []string) (*Automaton, error) {
-	return core.CompileFormula(f, props)
+	return defaultEngine.CompileFormula(context.Background(), f, props)
 }
 
 // Holds evaluates σ ⊨ f on an ultimately periodic word.
@@ -303,12 +315,19 @@ func ToPersistenceAutomaton(a *Automaton) (*Automaton, error) { return a.ToPersi
 func Interior(a *Automaton) *Automaton { return a.Interior() }
 
 // Equivalent decides exact language equality of two Streett automata,
-// returning a separating lasso word on failure.
-func Equivalent(a, b *Automaton) (bool, Word, error) { return a.Equivalent(b) }
+// returning a separating lasso word on failure. It is the convenience
+// form of Engine.Equivalent on the default engine; use EquivalentCtx for
+// cancellation.
+func Equivalent(a, b *Automaton) (bool, Word, error) {
+	return defaultEngine.Equivalent(context.Background(), a, b)
+}
 
 // Contains decides L(a) ⊇ L(b) exactly, returning a witness of
-// L(b) − L(a) on failure.
-func Contains(a, b *Automaton) (bool, Word, error) { return a.Contains(b) }
+// L(b) − L(a) on failure. It is the convenience form of Engine.Contains
+// on the default engine; use ContainsCtx for cancellation.
+func Contains(a, b *Automaton) (bool, Word, error) {
+	return defaultEngine.Contains(context.Background(), a, b)
+}
 
 // Specification patterns (the checklist vocabulary of §1, in the style of
 // Dwyer–Avrunin–Corbett), re-exported from internal/patterns.
