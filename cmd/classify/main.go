@@ -68,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	autFile := fs.String("automaton", "", "file with a Streett automaton in the textual format")
 	batchFile := fs.String("batch", "", "file with one formula per line ('#' comments): classify all at once")
 	jobs := fs.Int("jobs", 0, "engine worker-pool bound for -batch (0 = number of CPUs)")
+	budgetStates := fs.Int64("budget", 0, "state budget per request: abort any request that materializes more automaton states (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
 	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
@@ -78,37 +80,52 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	err = dispatch(fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, *jobs, stdout)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	err = dispatch(ctx, fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, *jobs, *budgetStates, stdout)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func dispatch(fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, jobs int, stdout io.Writer) error {
+func dispatch(ctx context.Context, fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, jobs int, budgetStates int64, stdout io.Writer) error {
 	// One engine per invocation: a CLI run is one-shot, so the memo cache
 	// only serves within-run sharing (batch dedup, repeated subterms).
-	eng := temporal.NewEngine(engineOpts(jobs)...)
+	eng := temporal.NewEngine(engineOpts(jobs, budgetStates)...)
 	if batchFile != "" {
-		return classifyBatch(batchFile, props, eng, stdout)
+		return classifyBatch(ctx, batchFile, props, eng, stdout)
 	}
 	if autFile != "" {
-		return classifyAutomatonFile(autFile, eng, stdout)
+		return classifyAutomatonFile(ctx, autFile, eng, stdout)
 	}
 	if op != "" {
-		return classifyOperator(op, regexExpr, alphaStr, eng, stdout)
+		return classifyOperator(ctx, op, regexExpr, alphaStr, eng, stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("need exactly one formula argument")
 	}
-	return classifyFormula(fs.Arg(0), props, eng, stdout)
+	return classifyFormula(ctx, fs.Arg(0), props, eng, stdout)
 }
 
-func engineOpts(jobs int) []temporal.EngineOption {
+func engineOpts(jobs int, budgetStates int64) []temporal.EngineOption {
+	var opts []temporal.EngineOption
 	if jobs > 0 {
-		return []temporal.EngineOption{temporal.WithParallelism(jobs)}
+		opts = append(opts, temporal.WithParallelism(jobs))
 	}
-	return nil
+	if budgetStates > 0 {
+		// Derive a step budget from the state budget: the iterative
+		// analyses (refinements, SCC passes) do a bounded amount of work
+		// per materialized state; 64 steps per budgeted state is generous
+		// for legitimate inputs while still bounding runaway refinement.
+		opts = append(opts, temporal.WithStateBudget(budgetStates),
+			temporal.WithStepBudget(64*budgetStates))
+	}
+	return opts
 }
 
 // readFormulaLines reads one formula per line, skipping blanks and '#'
@@ -134,7 +151,7 @@ func readFormulaLines(path string) ([]string, error) {
 	return inputs, nil
 }
 
-func classifyBatch(path, extraProps string, eng *temporal.Engine, w io.Writer) error {
+func classifyBatch(ctx context.Context, path, extraProps string, eng *temporal.Engine, w io.Writer) error {
 	inputs, err := readFormulaLines(path)
 	if err != nil {
 		return err
@@ -154,7 +171,7 @@ func classifyBatch(path, extraProps string, eng *temporal.Engine, w io.Writer) e
 		}
 		reqs[i] = temporal.BatchRequest{Formula: f, Props: props}
 	}
-	results := eng.Batch(context.Background(), reqs)
+	results := eng.Batch(ctx, reqs)
 	fmt.Fprintf(w, "%-36s %-12s %-7s %s\n", "formula", "class", "states", "all classes")
 	for i, r := range results {
 		if r.Err != nil {
@@ -179,7 +196,7 @@ func countDistinct(results []temporal.BatchResult) int {
 	return len(seen)
 }
 
-func classifyFormula(input, extraProps string, eng *temporal.Engine, w io.Writer) error {
+func classifyFormula(ctx context.Context, input, extraProps string, eng *temporal.Engine, w io.Writer) error {
 	f, err := temporal.ParseFormula(input)
 	if err != nil {
 		return err
@@ -197,11 +214,11 @@ func classifyFormula(input, extraProps string, eng *temporal.Engine, w io.Writer
 	fmt.Fprintf(w, "normal form       : %v\n", nf)
 	fmt.Fprintf(w, "syntactic class   : %v\n", syn)
 
-	aut, err := eng.CompileFormula(context.Background(), f, propsOrNil(props, f))
+	aut, err := eng.CompileFormula(ctx, f, propsOrNil(props, f))
 	if err != nil {
 		return err
 	}
-	c, err := eng.ClassifyAutomaton(context.Background(), aut)
+	c, err := eng.ClassifyAutomaton(ctx, aut)
 	if err != nil {
 		return err
 	}
@@ -226,7 +243,7 @@ func propsOrNil(props []string, f temporal.Formula) []string {
 	return props
 }
 
-func classifyAutomatonFile(path string, eng *temporal.Engine, w io.Writer) error {
+func classifyAutomatonFile(ctx context.Context, path string, eng *temporal.Engine, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -238,7 +255,7 @@ func classifyAutomatonFile(path string, eng *temporal.Engine, w io.Writer) error
 	if err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	c, err := eng.ClassifyAutomaton(context.Background(), aut)
+	c, err := eng.ClassifyAutomaton(ctx, aut)
 	if err != nil {
 		return err
 	}
@@ -259,7 +276,7 @@ func classifyAutomatonFile(path string, eng *temporal.Engine, w io.Writer) error
 	return nil
 }
 
-func classifyOperator(op, regexExpr, alphaStr string, eng *temporal.Engine, w io.Writer) error {
+func classifyOperator(ctx context.Context, op, regexExpr, alphaStr string, eng *temporal.Engine, w io.Writer) error {
 	if regexExpr == "" {
 		return fmt.Errorf("-op needs -regex")
 	}
@@ -284,7 +301,7 @@ func classifyOperator(op, regexExpr, alphaStr string, eng *temporal.Engine, w io
 	default:
 		return fmt.Errorf("unknown operator %q (want A, E, R or P)", op)
 	}
-	c, err := eng.ClassifyAutomaton(context.Background(), aut)
+	c, err := eng.ClassifyAutomaton(ctx, aut)
 	if err != nil {
 		return err
 	}

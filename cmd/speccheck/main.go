@@ -48,6 +48,8 @@ func run(args []string) (code int, err error) {
 	fs := flag.NewFlagSet("speccheck", flag.ContinueOnError)
 	file := fs.String("f", "", "file with one formula per line ('#' comments)")
 	jobs := fs.Int("jobs", 0, "engine worker-pool bound (0 = number of CPUs)")
+	budgetStates := fs.Int64("budget", 0, "state budget per request: abort any request that materializes more automaton states (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
 	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
@@ -57,14 +59,20 @@ func run(args []string) (code int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	code, err = check(fs, *file, *jobs)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	code, err = check(ctx, fs, *file, *jobs, *budgetStates)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return code, err
 }
 
-func check(fs *flag.FlagSet, file string, jobs int) (int, error) {
+func check(ctx context.Context, fs *flag.FlagSet, file string, jobs int, budgetStates int64) (int, error) {
 	var inputs []string
 	if file != "" {
 		f, err := os.Open(file)
@@ -104,8 +112,16 @@ func check(fs *flag.FlagSet, file string, jobs int) (int, error) {
 	if jobs > 0 {
 		opts = append(opts, temporal.WithParallelism(jobs))
 	}
+	if budgetStates > 0 {
+		// Same derivation as cmd/classify: the iterative analyses do a
+		// bounded amount of work per materialized state, so a 64x step
+		// budget bounds runaway refinement without tripping on legitimate
+		// inputs.
+		opts = append(opts, temporal.WithStateBudget(budgetStates),
+			temporal.WithStepBudget(64*budgetStates))
+	}
 	eng := temporal.NewEngine(opts...)
-	results := eng.Batch(context.Background(), reqs)
+	results := eng.Batch(ctx, reqs)
 
 	counts := map[temporal.Class]int{}
 	hasLiveness := false

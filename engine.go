@@ -3,6 +3,7 @@ package temporal
 import (
 	"context"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ltl"
@@ -58,6 +59,19 @@ func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
 // safe for concurrent use.
 func WithObserver(o EngineObserver) EngineOption { return engine.WithObserver(o) }
 
+// WithStateBudget caps the number of automaton states any single engine
+// request may materialize across all its constructions (subset
+// construction, products, canonicalization merges). A request exceeding
+// the cap fails with ErrBudgetExceeded instead of exhausting memory;
+// n <= 0 means unlimited (the default).
+func WithStateBudget(n int64) EngineOption { return engine.WithStateBudget(n) }
+
+// WithStepBudget caps the abstract work steps (partition refinements,
+// SCC passes, emptiness refinements) any single engine request may
+// spend; n <= 0 means unlimited (the default). Use context.WithTimeout
+// for wall-clock deadlines.
+func WithStepBudget(n int64) EngineOption { return engine.WithStepBudget(n) }
+
 // Typed sentinel errors, matchable with errors.Is (and errors.As for
 // *ParseError).
 var (
@@ -75,7 +89,16 @@ var (
 	// ErrNotNormalizable is reported for formulas outside the
 	// normalizable fragment of §4.
 	ErrNotNormalizable = core.ErrNotNormalizable
+	// ErrBudgetExceeded is reported when a request exceeds a configured
+	// state or step budget (WithStateBudget/WithStepBudget); the concrete
+	// error details which resource ran out.
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
 )
+
+// InternalError is reported when a panic escaped from inside an engine
+// operation; the engine converts every panic at its boundary, so one
+// poisoned request cannot kill the process. Match with errors.As.
+type InternalError = engine.InternalError
 
 // ParseError is the typed error returned by ParseFormula; it carries the
 // input and the byte offset of the offending token.

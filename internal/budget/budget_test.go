@@ -1,0 +1,182 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNewNilForUnlimited(t *testing.T) {
+	if New(0, 0) != nil {
+		t.Fatal("New(0,0) should return nil (fully unlimited)")
+	}
+	if New(-1, -5) != nil {
+		t.Fatal("New with non-positive caps should return nil")
+	}
+	if New(1, 0) == nil || New(0, 1) == nil {
+		t.Fatal("New with a positive cap should return a budget")
+	}
+}
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if err := b.ChargeStates(1 << 40); err != nil {
+			t.Fatalf("nil budget charged states: %v", err)
+		}
+		if err := b.ChargeSteps(1 << 40); err != nil {
+			t.Fatalf("nil budget charged steps: %v", err)
+		}
+	}
+	if b.States() != 0 || b.Steps() != 0 {
+		t.Fatal("nil budget should report zero usage")
+	}
+}
+
+func TestChargeStatesTripsAtCap(t *testing.T) {
+	b := New(3, 0)
+	for i := 0; i < 3; i++ {
+		if err := b.ChargeStates(1); err != nil {
+			t.Fatalf("charge %d within cap failed: %v", i+1, err)
+		}
+	}
+	err := b.ChargeStates(1)
+	if err == nil {
+		t.Fatal("4th state charge against cap 3 should fail")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error %v should match ErrBudgetExceeded", err)
+	}
+	var ex *ExceededError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v should be *ExceededError", err)
+	}
+	if ex.Resource != "states" || ex.Limit != 3 || ex.Used != 4 {
+		t.Fatalf("unexpected detail: %+v", ex)
+	}
+}
+
+func TestChargeStepsTripsAtCap(t *testing.T) {
+	b := New(0, 2)
+	if err := b.ChargeSteps(2); err != nil {
+		t.Fatalf("charge within cap failed: %v", err)
+	}
+	err := b.ChargeSteps(1)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("step overrun should match ErrBudgetExceeded, got %v", err)
+	}
+	var ex *ExceededError
+	if !errors.As(err, &ex) || ex.Resource != "steps" {
+		t.Fatalf("want steps ExceededError, got %v", err)
+	}
+}
+
+func TestExhaustionIsSticky(t *testing.T) {
+	b := New(1, 0)
+	b.ChargeStates(1)
+	if err := b.ChargeStates(1); err == nil {
+		t.Fatal("overrun should fail")
+	}
+	// Ignoring the error must not reset the meter: every further charge
+	// keeps failing.
+	for i := 0; i < 10; i++ {
+		if err := b.ChargeStates(1); !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("charge after exhaustion should keep failing, got %v", err)
+		}
+	}
+}
+
+func TestUncappedResourceNeverTrips(t *testing.T) {
+	b := New(5, 0) // steps uncapped
+	for i := 0; i < 1000; i++ {
+		if err := b.ChargeSteps(1000); err != nil {
+			t.Fatalf("uncapped steps tripped: %v", err)
+		}
+	}
+	if b.Steps() != 1000*1000 {
+		t.Fatalf("steps meter = %d, want %d", b.Steps(), 1000*1000)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context should carry no budget")
+	}
+	b := New(10, 10)
+	ctx := With(context.Background(), b)
+	if FromContext(ctx) != b {
+		t.Fatal("FromContext should return the attached budget")
+	}
+	if With(context.Background(), nil) != context.Background() {
+		t.Fatal("attaching nil should be a no-op")
+	}
+}
+
+func TestPollReportsCancellationFirst(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = With(ctx, New(0, 1))
+	cancel()
+	err := Poll(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Poll on canceled ctx should return the ctx error, got %v", err)
+	}
+}
+
+func TestPollChargesSteps(t *testing.T) {
+	ctx := With(context.Background(), New(0, 2))
+	if err := Poll(ctx, 1); err != nil {
+		t.Fatalf("first poll: %v", err)
+	}
+	if err := Poll(ctx, 1); err != nil {
+		t.Fatalf("second poll: %v", err)
+	}
+	if err := Poll(ctx, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("third poll should exceed step cap, got %v", err)
+	}
+	// Without a budget, Poll is just a cancellation check.
+	if err := Poll(context.Background(), 1<<40); err != nil {
+		t.Fatalf("budget-less Poll failed: %v", err)
+	}
+}
+
+func TestContextChargeStates(t *testing.T) {
+	ctx := With(context.Background(), New(1, 0))
+	if err := ChargeStates(ctx, 1); err != nil {
+		t.Fatalf("first state: %v", err)
+	}
+	if err := ChargeStates(ctx, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("second state should exceed cap, got %v", err)
+	}
+	if err := ChargeStates(context.Background(), 1<<40); err != nil {
+		t.Fatalf("budget-less ChargeStates failed: %v", err)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	// The meters are shared across worker goroutines; under -race this
+	// test also proves the charge path is data-race free.
+	b := New(0, 1000)
+	var wg sync.WaitGroup
+	var trips sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := b.ChargeSteps(1); err != nil {
+					trips.Store(g, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Steps() != 8*500 {
+		t.Fatalf("steps meter = %d, want %d", b.Steps(), 8*500)
+	}
+	tripped := 0
+	trips.Range(func(_, _ any) bool { tripped++; return true })
+	if tripped == 0 {
+		t.Fatal("4000 charges against cap 1000 should trip in some goroutine")
+	}
+}

@@ -7,12 +7,15 @@
 package compile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/budget"
 	"repro/internal/dfa"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/lang"
 	"repro/internal/ltl"
 	"repro/internal/obs"
@@ -24,8 +27,10 @@ var (
 )
 
 // ErrTooManyStates is returned when the subset construction exceeds its
-// state cap.
-var ErrTooManyStates = errors.New("compile: state cap exceeded")
+// state cap. It unwraps to budget.ErrBudgetExceeded: the package-local
+// cap is one instance of the pipeline-wide budget discipline, so callers
+// can match either the specific or the general sentinel.
+var ErrTooManyStates = fmt.Errorf("compile: state cap exceeded: %w", budget.ErrBudgetExceeded)
 
 // ErrNotPast is returned when a formula expected to be a past formula
 // contains future operators.
@@ -71,20 +76,28 @@ func PastToDFACapped(p ltl.Formula, props []string, capStates int) (*dfa.DFA, er
 	if err != nil {
 		return nil, err
 	}
-	return pastToDFAOver(p, alpha, capStates)
+	return pastToDFAOver(context.Background(), p, alpha, capStates)
 }
 
 // PastToDFAOverAlphabet compiles a past formula over an explicit symbol
 // alphabet (e.g. plain letters, where a proposition holds at the symbol
 // with the same name). Used for the paper's finite-Σ examples.
 func PastToDFAOverAlphabet(p ltl.Formula, alpha *alphabet.Alphabet) (*dfa.DFA, error) {
+	return PastToDFAOverAlphabetCtx(context.Background(), p, alpha)
+}
+
+// PastToDFAOverAlphabetCtx is PastToDFAOverAlphabet with cooperative
+// cancellation and resource governance: the construction polls the
+// context and charges each materialized state against the context's
+// budget in addition to the package-local cap.
+func PastToDFAOverAlphabetCtx(ctx context.Context, p ltl.Formula, alpha *alphabet.Alphabet) (*dfa.DFA, error) {
 	if !ltl.IsPastFormula(p) {
 		return nil, fmt.Errorf("%w: %v", ErrNotPast, p)
 	}
-	return pastToDFAOver(p, alpha, DefaultStateCap)
+	return pastToDFAOver(ctx, p, alpha, DefaultStateCap)
 }
 
-func pastToDFAOver(p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa.DFA, error) {
+func pastToDFAOver(ctx context.Context, p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa.DFA, error) {
 	sp := obs.Start("compile.past2dfa").Stringer("formula", p).Int("alphabet", alpha.Size())
 	defer sp.End()
 	cntPastDFACalls.Inc()
@@ -187,6 +200,15 @@ func pastToDFAOver(p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa
 		if len(states) > capStates {
 			return nil, fmt.Errorf("%w (> %d)", ErrTooManyStates, capStates)
 		}
+		if err := fault.Hit(fault.SiteCompilePast); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 0); err != nil {
+			return nil, err
+		}
+		if err := budget.ChargeStates(ctx, 1); err != nil {
+			return nil, err
+		}
 		for si := 0; si < k; si++ {
 			nv := step(states[qi].vec, si)
 			nk := key(nv)
@@ -205,7 +227,10 @@ func pastToDFAOver(p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa
 	if err != nil {
 		return nil, err
 	}
-	m := d.Minimize()
+	m, err := d.MinimizeCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	sp.Int("raw_states", len(states)).Int("states", m.NumStates())
 	cntPastDFAStates.Add(int64(m.NumStates()))
 	return m, nil

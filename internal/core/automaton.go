@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/budget"
 	"repro/internal/obs"
 	"repro/internal/omega"
 )
@@ -45,7 +46,7 @@ func (an *Analysis) Automaton() *omega.Automaton { return an.a }
 // cycle within the live region — every run that stays inside Pref(Π)
 // forever is accepted.
 func (an *Analysis) Safety(ctx context.Context) (bool, error) {
-	if err := ctx.Err(); err != nil {
+	if err := budget.Poll(ctx, 1); err != nil {
 		return false, err
 	}
 	sub := obs.Start("classify.safety")
@@ -58,7 +59,7 @@ func (an *Analysis) Safety(ctx context.Context) (bool, error) {
 // Guarantee decides the guarantee (open) condition: dually, no accessible
 // accepting cycle within the co-live region.
 func (an *Analysis) Guarantee(ctx context.Context) (bool, error) {
-	if err := ctx.Err(); err != nil {
+	if err := budget.Poll(ctx, 1); err != nil {
 		return false, err
 	}
 	sub := obs.Start("classify.guarantee")
@@ -98,7 +99,7 @@ func (an *Analysis) Persistence(ctx context.Context) (bool, error) {
 // ReactivityRank computes Wagner's exact reactivity rank via alternating
 // chains of accessible cycles (see chains.go).
 func (an *Analysis) ReactivityRank(ctx context.Context) (int, error) {
-	if err := ctx.Err(); err != nil {
+	if err := budget.Poll(ctx, 1); err != nil {
 		return 0, err
 	}
 	sub := obs.Start("classify.rank.reactivity")
@@ -111,7 +112,7 @@ func (an *Analysis) ReactivityRank(ctx context.Context) (int, error) {
 // ObligationRank computes the exact obligation rank; only meaningful when
 // the property is an obligation property.
 func (an *Analysis) ObligationRank(ctx context.Context) (int, error) {
-	if err := ctx.Err(); err != nil {
+	if err := budget.Poll(ctx, 1); err != nil {
 		return 0, err
 	}
 	sub := obs.Start("classify.rank.obligation")
@@ -160,7 +161,13 @@ func Resolve(safety, guarantee, recurrence, persistence bool) Classification {
 //     "obligation = recurrence ∩ persistence").
 //   - ranks: Wagner's alternating chains (see chains.go).
 func ClassifyAutomaton(a *omega.Automaton) Classification {
-	c, _ := ClassifyAutomatonCtx(context.Background(), a)
+	c, err := ClassifyAutomatonCtx(context.Background(), a)
+	if err != nil {
+		// Only reachable under budget exhaustion or fault injection, and a
+		// background context carries neither in production; returning the
+		// zero Classification would silently misclassify.
+		panic(err)
+	}
 	return c
 }
 
@@ -215,7 +222,7 @@ func ClassifyAutomatonCtx(ctx context.Context, a *omega.Automaton) (Classificati
 func isRecurrence(ctx context.Context, a *omega.Automaton, reach []bool) (bool, error) {
 	n := a.NumStates()
 	for i := 0; i < a.NumPairs(); i++ {
-		if err := ctx.Err(); err != nil {
+		if err := budget.Poll(ctx, 1); err != nil {
 			return false, err
 		}
 		r, p := a.PairVectors(i)
@@ -224,7 +231,7 @@ func isRecurrence(ctx context.Context, a *omega.Automaton, reach []bool) (bool, 
 			allowed[q] = reach[q] && !r[q]
 		}
 		for _, comp := range a.SCCs(allowed) {
-			if err := ctx.Err(); err != nil {
+			if err := budget.Poll(ctx, 1); err != nil {
 				return false, err
 			}
 			if !a.IsCyclic(comp) {
@@ -259,7 +266,7 @@ func isPersistence(ctx context.Context, a *omega.Automaton, reach []bool) (bool,
 }
 
 func persistenceViolationWithin(ctx context.Context, a *omega.Automaton, allowed []bool) (bool, error) {
-	if err := ctx.Err(); err != nil {
+	if err := budget.Poll(ctx, 1); err != nil {
 		return false, err
 	}
 	for _, comp := range a.SCCs(allowed) {

@@ -1067,7 +1067,7 @@ func CompileFormulaOverCtx(ctx context.Context, f ltl.Formula, alpha *alphabet.A
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prod, err := omega.IntersectAll(autos...)
+	prod, err := omega.IntersectAllCtx(ctx, autos...)
 	if err != nil {
 		return nil, err
 	}
@@ -1087,7 +1087,7 @@ func CompileClauseOver(ctx context.Context, c Clause, alpha *alphabet.Alphabet) 
 		return nil, err
 	}
 	esat := func(p ltl.Formula) (*lang.Property, error) {
-		d, err := compile.PastToDFAOverAlphabet(p, alpha)
+		d, err := compile.PastToDFAOverAlphabetCtx(ctx, p, alpha)
 		if err != nil {
 			return nil, err
 		}

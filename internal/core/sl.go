@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/omega"
 )
 
@@ -32,7 +33,10 @@ func DecomposeSL(a *omega.Automaton) SLParts {
 func IsLiveness(a *omega.Automaton) bool { return a.IsLivenessProperty() }
 
 // ErrTooLarge is returned when a construction would exceed its size cap.
-var ErrTooLarge = fmt.Errorf("core: construction exceeds size cap")
+// It unwraps to budget.ErrBudgetExceeded — the package-local cap is one
+// instance of the pipeline-wide budget discipline — so callers can match
+// either the specific or the general sentinel with errors.Is.
+var ErrTooLarge = fmt.Errorf("core: construction exceeds size cap: %w", budget.ErrBudgetExceeded)
 
 // IsUniformLiveness decides whether the property is a uniform liveness
 // property: a single infinite word σ′ exists with Σ⁺·σ′ ⊆ Π. On a

@@ -1,6 +1,12 @@
 package dfa
 
-import "repro/internal/obs"
+import (
+	"context"
+
+	"repro/internal/budget"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
 
 // Minimize returns the canonical minimal DFA for L(d) (restricted to
 // reachable states), using Hopcroft's partition-refinement algorithm.
@@ -8,6 +14,20 @@ import "repro/internal/obs"
 // numbered in BFS order from the start state so that equal languages yield
 // structurally identical automata.
 func (d *DFA) Minimize() *DFA {
+	m, err := d.MinimizeCtx(context.Background())
+	if err != nil {
+		// Only reachable under a context budget or test-only fault
+		// injection; the background context carries neither.
+		panic(err)
+	}
+	return m
+}
+
+// MinimizeCtx is Minimize with resource governance: each splitter pass of
+// the refinement is charged as one step against the context's budget, so
+// minimizing a huge automaton under a step cap aborts with
+// budget.ErrBudgetExceeded.
+func (d *DFA) MinimizeCtx(ctx context.Context) (*DFA, error) {
 	sp := obs.Start("dfa.minimize").Int("in_states", len(d.trans))
 	defer sp.End()
 	t := d.Trim()
@@ -69,6 +89,12 @@ func (d *DFA) Minimize() *DFA {
 	}
 
 	for len(work) > 0 {
+		if err := fault.Hit(fault.SiteDFAMinimize); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 1); err != nil {
+			return nil, err
+		}
 		sp := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[sp] = false
@@ -167,5 +193,5 @@ func (d *DFA) Minimize() *DFA {
 		accept[i] = rawAccept[b]
 	}
 	sp.Int("states", len(order))
-	return MustNew(t.alpha, trans, 0, accept)
+	return New(t.alpha, trans, 0, accept)
 }

@@ -1,10 +1,13 @@
 package dfa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/alphabet"
+	"repro/internal/budget"
+	"repro/internal/fault"
 	"repro/internal/word"
 )
 
@@ -129,6 +132,21 @@ func setKey(states []int) string {
 // Determinize performs the subset construction, yielding an equivalent
 // complete DFA (the empty subset is the dead sink).
 func (n *NFA) Determinize() *DFA {
+	d, err := n.DeterminizeCtx(context.Background())
+	if err != nil {
+		// Only reachable under a context budget or test-only fault
+		// injection, neither of which applies to the background context
+		// path — but an armed fault site must not be silently ignored.
+		panic(err)
+	}
+	return d
+}
+
+// DeterminizeCtx is Determinize with resource governance: every subset
+// state materialized is charged against the context's budget, so an
+// exponential subset construction aborts with budget.ErrBudgetExceeded
+// instead of exhausting memory.
+func (n *NFA) DeterminizeCtx(ctx context.Context) (*DFA, error) {
 	k := n.Alpha.Size()
 	index := map[string]int{}
 	var sets [][]int
@@ -146,6 +164,15 @@ func (n *NFA) Determinize() *DFA {
 	var trans [][]int
 	var accept []bool
 	for i := 0; i < len(sets); i++ {
+		if err := fault.Hit(fault.SiteDFADeterminize); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 0); err != nil {
+			return nil, err
+		}
+		if err := budget.ChargeStates(ctx, 1); err != nil {
+			return nil, err
+		}
 		set := sets[i]
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
@@ -161,5 +188,5 @@ func (n *NFA) Determinize() *DFA {
 		}
 		accept = append(accept, acc)
 	}
-	return MustNew(n.Alpha, trans, 0, accept)
+	return New(n.Alpha, trans, 0, accept)
 }

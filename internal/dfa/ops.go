@@ -1,8 +1,11 @@
 package dfa
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/budget"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -19,6 +22,8 @@ const (
 	OpXor
 )
 
+func (op BoolOp) valid() bool { return op >= OpAnd && op <= OpXor }
+
 func (op BoolOp) apply(a, b bool) bool {
 	switch op {
 	case OpAnd:
@@ -30,6 +35,7 @@ func (op BoolOp) apply(a, b bool) bool {
 	case OpXor:
 		return a != b
 	default:
+		// Unreachable: Product validates op before the state loop.
 		panic(fmt.Sprintf("dfa: unknown BoolOp %d", op))
 	}
 }
@@ -38,6 +44,17 @@ func (op BoolOp) apply(a, b bool) bool {
 // Both automata must share the same alphabet. Only reachable product states
 // are materialized.
 func (d *DFA) Product(e *DFA, op BoolOp) (*DFA, error) {
+	return d.ProductCtx(context.Background(), e, op)
+}
+
+// ProductCtx is Product with resource governance: every materialized
+// product state is charged against the context's budget, so a blowing-up
+// product aborts with budget.ErrBudgetExceeded instead of exhausting
+// memory.
+func (d *DFA) ProductCtx(ctx context.Context, e *DFA, op BoolOp) (*DFA, error) {
+	if !op.valid() {
+		return nil, fmt.Errorf("dfa: unknown BoolOp %d", op)
+	}
 	if !d.alpha.Equal(e.alpha) {
 		return nil, fmt.Errorf("dfa: product over different alphabets %v and %v", d.alpha, e.alpha)
 	}
@@ -61,6 +78,15 @@ func (d *DFA) Product(e *DFA, op BoolOp) (*DFA, error) {
 	var trans [][]int
 	var accept []bool
 	for i := 0; i < len(order); i++ {
+		if err := fault.Hit(fault.SiteDFAProduct); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 0); err != nil {
+			return nil, err
+		}
+		if err := budget.ChargeStates(ctx, 1); err != nil {
+			return nil, err
+		}
 		p := order[i]
 		row := make([]int, k)
 		for s := 0; s < k; s++ {

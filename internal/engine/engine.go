@@ -9,6 +9,15 @@
 //
 // All entry points take a context.Context and stop promptly when it is
 // canceled, reporting ErrCanceled.
+//
+// The engine is also the pipeline's fault boundary. With WithStateBudget
+// and WithStepBudget configured, every request runs under a budget
+// carried in its context and aborts with budget.ErrBudgetExceeded when a
+// construction blows up, instead of exhausting memory. Every entry point
+// — and every pool-worker task — runs inside a recovery boundary that
+// converts internal panics into a typed *InternalError carrying the
+// operation name and stack, so one poisoned request can neither kill the
+// process nor wedge the worker pool.
 package engine
 
 import (
@@ -21,6 +30,7 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ltl"
 	"repro/internal/obs"
 	"repro/internal/omega"
@@ -56,6 +66,8 @@ type Observer func(event string, value int64)
 type Engine struct {
 	workers   int
 	cacheSize int
+	maxStates int64
+	maxSteps  int64
 	sem       chan struct{}
 	cache     *memoCache
 	observer  Observer
@@ -102,10 +114,12 @@ func (e *Engine) Parallelism() int { return e.workers }
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
 
 // wrapErr maps context errors to ErrCanceled (wrapping the original so
-// errors.Is matches both) and passes everything else through.
+// errors.Is matches both) and passes everything else — including
+// budget.ErrBudgetExceeded and *InternalError — through. Idempotent, so
+// layered entry points can each apply it safely.
 func wrapErr(err error) error {
-	if err == nil {
-		return nil
+	if err == nil || errors.Is(err, ErrCanceled) {
+		return err
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
@@ -135,7 +149,10 @@ func (e *Engine) cachePut(key string, v any) { e.cache.put(key, v) }
 // Pool tokens are acquired non-blockingly: when the pool is saturated a
 // task runs inline on the caller's goroutine, so nested fan-outs (Batch
 // items fanning out their per-class checks) can never deadlock — every
-// task always has somewhere to run.
+// task always has somewhere to run. Every task — spawned or inline —
+// runs inside a recovery boundary: a panicking task reports an
+// *InternalError instead of killing the worker goroutine (and with it
+// the process).
 func (e *Engine) fanOut(ctx context.Context, tasks ...func() error) error {
 	var (
 		wg       sync.WaitGroup
@@ -152,6 +169,14 @@ func (e *Engine) fanOut(ctx context.Context, tasks ...func() error) error {
 		}
 		mu.Unlock()
 	}
+	run := func(t func() error) error {
+		return capture("task", func() error {
+			if err := fault.Hit(fault.SiteEngineTask); err != nil {
+				return err
+			}
+			return t()
+		})
+	}
 	for _, t := range tasks {
 		select {
 		case e.sem <- struct{}{}:
@@ -159,10 +184,10 @@ func (e *Engine) fanOut(ctx context.Context, tasks ...func() error) error {
 			go func(t func() error) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
-				record(t())
+				record(run(t))
 			}(t)
 		default:
-			record(t())
+			record(run(t))
 		}
 	}
 	wg.Wait()
@@ -175,7 +200,24 @@ func (e *Engine) fanOut(ctx context.Context, tasks ...func() error) error {
 // result is memoized under the automaton's structural key, so automata
 // with the same reachable structure (not just the same pointer) share
 // one classification.
+//
+// The call runs under the engine's resource governance: a fresh budget
+// (if caps are configured and the caller didn't attach one) and a
+// recovery boundary converting internal panics into *InternalError.
 func (e *Engine) ClassifyAutomaton(ctx context.Context, a *omega.Automaton) (core.Classification, error) {
+	ctx = e.withBudget(ctx)
+	var c core.Classification
+	err := capture("ClassifyAutomaton", func() (err error) {
+		c, err = e.classifyAutomaton(ctx, a)
+		return
+	})
+	if err != nil {
+		return core.Classification{}, wrapErr(err)
+	}
+	return c, nil
+}
+
+func (e *Engine) classifyAutomaton(ctx context.Context, a *omega.Automaton) (core.Classification, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Classification{}, wrapErr(err)
 	}
@@ -235,7 +277,24 @@ func resolveProps(f ltl.Formula, props []string) []string {
 // formula and each clause are memoized — batch items that share clauses
 // (a common fairness conjunct, say) compile the shared sub-automaton
 // once.
+//
+// The call runs under the engine's resource governance: a fresh budget
+// (if caps are configured and the caller didn't attach one) and a
+// recovery boundary converting internal panics into *InternalError.
 func (e *Engine) CompileFormula(ctx context.Context, f ltl.Formula, props []string) (*omega.Automaton, error) {
+	ctx = e.withBudget(ctx)
+	var a *omega.Automaton
+	err := capture("CompileFormula", func() (err error) {
+		a, err = e.compileFormula(ctx, f, props)
+		return
+	})
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return a, nil
+}
+
+func (e *Engine) compileFormula(ctx context.Context, f ltl.Formula, props []string) (*omega.Automaton, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(err)
 	}
@@ -284,7 +343,7 @@ func (e *Engine) CompileFormula(ctx context.Context, f ltl.Formula, props []stri
 		// No clauses: the formula reduced to true.
 		res = omega.Universal(alpha)
 	} else {
-		prod, err := omega.IntersectAll(autos...)
+		prod, err := omega.IntersectAllCtx(ctx, autos...)
 		if err != nil {
 			return nil, err
 		}
@@ -296,8 +355,10 @@ func (e *Engine) CompileFormula(ctx context.Context, f ltl.Formula, props []stri
 }
 
 // ClassifyFormula compiles the formula and classifies the resulting
-// automaton; both steps hit the memo cache.
+// automaton; both steps hit the memo cache and draw from one shared
+// per-request budget.
 func (e *Engine) ClassifyFormula(ctx context.Context, f ltl.Formula, props []string) (core.Classification, error) {
+	ctx = e.withBudget(ctx)
 	a, err := e.CompileFormula(ctx, f, props)
 	if err != nil {
 		return core.Classification{}, err
@@ -313,8 +374,25 @@ type containsResult struct {
 
 // Contains decides L(a) ⊇ L(b) exactly, memoized on the pair of
 // structural keys; the witness word of a failed containment is cached
-// alongside the verdict.
+// alongside the verdict. Runs under the engine's budget and recovery
+// boundary like ClassifyAutomaton.
 func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
+	ctx = e.withBudget(ctx)
+	var (
+		ok bool
+		w  word.Lasso
+	)
+	err := capture("Contains", func() (err error) {
+		ok, w, err = e.contains(ctx, a, b)
+		return
+	})
+	if err != nil {
+		return false, word.Lasso{}, wrapErr(err)
+	}
+	return ok, w, nil
+}
+
+func (e *Engine) contains(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
 	if err := ctx.Err(); err != nil {
 		return false, word.Lasso{}, wrapErr(err)
 	}
@@ -332,8 +410,10 @@ func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, wor
 }
 
 // Equivalent decides exact language equality as containment both ways,
-// sharing the directional containment cache entries.
+// sharing the directional containment cache entries and one per-request
+// budget.
 func (e *Engine) Equivalent(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
+	ctx = e.withBudget(ctx)
 	ok, w, err := e.Contains(ctx, a, b)
 	if err != nil || !ok {
 		return ok, w, err
@@ -345,8 +425,22 @@ func (e *Engine) Equivalent(ctx context.Context, a, b *omega.Automaton) (bool, w
 // the given class (Prop. 5.1, constructive direction), memoizing the
 // canonical automaton per (class, structural key). Only the four simple
 // classes have a canonical single-pair form; other classes report an
-// error. Failures (omega.ErrNotInClass) are not cached.
+// error. Failures (omega.ErrNotInClass) are not cached. Runs under the
+// engine's budget and recovery boundary like ClassifyAutomaton.
 func (e *Engine) Canonicalize(ctx context.Context, a *omega.Automaton, cl core.Class) (*omega.Automaton, error) {
+	ctx = e.withBudget(ctx)
+	var res *omega.Automaton
+	err := capture("Canonicalize", func() (err error) {
+		res, err = e.canonicalize(ctx, a, cl)
+		return
+	})
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return res, nil
+}
+
+func (e *Engine) canonicalize(ctx context.Context, a *omega.Automaton, cl core.Class) (*omega.Automaton, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapErr(err)
 	}
@@ -415,6 +509,11 @@ func requestKey(r Request) (string, error) {
 // requesting position — and distinct items run concurrently on the
 // worker pool. Item errors are reported per position, never as a panic;
 // when the context is canceled, remaining items report ErrCanceled.
+//
+// Batch degrades gracefully under faults: each item runs under its own
+// budget (when caps are configured) and its own recovery boundary, so an
+// item that panics reports an *InternalError at its position while the
+// rest of the batch completes normally.
 func (e *Engine) Batch(ctx context.Context, reqs []Request) []Result {
 	cntBatch.Inc()
 	sp := obs.Start("engine.batch").Int("items", len(reqs))
@@ -470,7 +569,27 @@ func (e *Engine) Batch(ctx context.Context, reqs []Request) []Result {
 	return results
 }
 
+// runRequest executes one deduplicated Batch item. The budget is
+// attached here — before the compile and classify stages — so both
+// stages draw from one per-item budget, and the recovery boundary wraps
+// the whole item so an injected or real panic poisons only this item.
 func (e *Engine) runRequest(ctx context.Context, r Request) Result {
+	ctx = e.withBudget(ctx)
+	var res Result
+	err := capture("Batch.item", func() error {
+		if err := fault.Hit(fault.SiteEngineBatch); err != nil {
+			return err
+		}
+		res = e.runItem(ctx, r)
+		return nil
+	})
+	if err != nil {
+		return Result{Err: wrapErr(err)}
+	}
+	return res
+}
+
+func (e *Engine) runItem(ctx context.Context, r Request) Result {
 	if r.Automaton != nil {
 		c, err := e.ClassifyAutomaton(ctx, r.Automaton)
 		return Result{Classification: c, Automaton: r.Automaton, Err: err}

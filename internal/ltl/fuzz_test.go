@@ -3,48 +3,55 @@ package ltl_test
 import (
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/ltl"
 )
 
-// TestParseNeverPanics feeds arbitrary strings to the parser: it must
-// either return a formula or an error, never panic, and successful parses
-// must re-parse to the same formula.
-func TestParseNeverPanics(t *testing.T) {
-	letters := []byte("pq !&|<->()XFGUWYZSBOH_ab")
-	rng := rand.New(rand.NewSource(73))
-	for i := 0; i < 3000; i++ {
-		n := rng.Intn(24)
-		buf := make([]byte, n)
-		for j := range buf {
-			buf[j] = letters[rng.Intn(len(letters))]
-		}
-		input := string(buf)
-		f, err := ltl.Parse(input)
+// FuzzLTLParse feeds arbitrary strings to the formula parser: it must
+// either return a formula or an error, never panic, and a successful
+// parse must survive the print/re-parse round trip unchanged. The seed
+// corpus covers every operator class of the grammar (future, past,
+// connectives) plus near-miss inputs that historically stress parsers.
+func FuzzLTLParse(f *testing.F) {
+	seeds := []string{
+		"G !(c1 & c2)",
+		"F done",
+		"G p | F q",
+		"G (req -> F ack)",
+		"F G stable",
+		"G F e -> G F t",
+		"p U (q W r)",
+		"Y p & Z q | S (a, b)", // past unary ops and a malformed tail
+		"B p q",
+		"O p <-> H q",
+		"X X X p",
+		"!(p <-> !q)",
+		"((p))",
+		"(p",   // unbalanced
+		"p q",  // juxtaposition, no operator
+		"U p",  // binary operator with no left operand
+		"",     // empty
+		"_ab3", // identifier-shaped noise
+		"p &",
+		"<->",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ltl.Parse(input)
 		if err != nil {
-			continue
+			return
 		}
-		g, err := ltl.Parse(f.String())
+		printed := parsed.String()
+		again, err := ltl.Parse(printed)
 		if err != nil {
-			t.Fatalf("parse(%q) ok but print %q does not re-parse: %v", input, f.String(), err)
+			t.Fatalf("parse(%q) ok but print %q does not re-parse: %v", input, printed, err)
 		}
-		if !ltl.Equal(f, g) {
-			t.Fatalf("round trip changed %q: %q vs %q", input, f.String(), g.String())
+		if !ltl.Equal(parsed, again) {
+			t.Fatalf("round trip changed %q: %q vs %q", input, printed, again.String())
 		}
-	}
-}
-
-// TestParseQuickBytes extends the fuzzing to fully random byte strings
-// via testing/quick.
-func TestParseQuickBytes(t *testing.T) {
-	f := func(data []byte) bool {
-		_, _ = ltl.Parse(string(data)) // must not panic
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Error(err)
-	}
+	})
 }
 
 // TestNnfIdempotent: NNF of an NNF formula is itself.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/budget"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -196,7 +198,10 @@ func (a *Automaton) ToRecurrenceAutomatonCtx(ctx context.Context) (*Automaton, e
 		}
 		buchiSets[i] = set
 	}
-	merged := a.mergeBuchi(buchiSets)
+	merged, err := a.mergeBuchi(ctx, buchiSets)
+	if err != nil {
+		return nil, err
+	}
 	sp.Int("states", len(merged.trans))
 	eq, ce, err := a.EquivalentCtx(ctx, merged)
 	if err != nil {
@@ -212,12 +217,13 @@ func (a *Automaton) ToRecurrenceAutomatonCtx(ctx context.Context) (*Automaton, e
 // conjunction ⋀ᵢ "inf ∩ setᵢ ≠ ∅" on this automaton's transition
 // structure: the classical cyclic-counter (generalized Büchi → Büchi)
 // product. The counter waits for set_j; when the new state is in set_j it
-// advances (wrapping flags acceptance).
-func (a *Automaton) mergeBuchi(sets [][]bool) *Automaton {
+// advances (wrapping flags acceptance). Every counter-product state is
+// charged against the context's budget.
+func (a *Automaton) mergeBuchi(ctx context.Context, sets [][]bool) (*Automaton, error) {
 	kSyms := a.alpha.Size()
 	m := len(sets)
 	if m == 0 {
-		return Universal(a.alpha)
+		return Universal(a.alpha), nil
 	}
 	type st struct {
 		q    int
@@ -238,6 +244,15 @@ func (a *Automaton) mergeBuchi(sets [][]bool) *Automaton {
 	get(st{q: a.start})
 	var trans [][]int
 	for i := 0; i < len(order); i++ {
+		if err := fault.Hit(fault.SiteOmegaMerge); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 0); err != nil {
+			return nil, err
+		}
+		if err := budget.ChargeStates(ctx, 1); err != nil {
+			return nil, err
+		}
 		s := order[i]
 		row := make([]int, kSyms)
 		for sym := 0; sym < kSyms; sym++ {
@@ -262,7 +277,7 @@ func (a *Automaton) mergeBuchi(sets [][]bool) *Automaton {
 	for i, s := range order {
 		pair.R[i] = s.flag
 	}
-	return MustNew(a.alpha, trans, 0, []Pair{pair})
+	return New(a.alpha, trans, 0, []Pair{pair})
 }
 
 // ToPersistenceAutomaton rewrites the automaton into the persistence

@@ -3,6 +3,8 @@ package omega
 import (
 	"context"
 
+	"repro/internal/budget"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -20,19 +22,32 @@ func (a *Automaton) acceptsCycleSet(set []int) bool {
 // it returns a cyclic state set J, contained in the allowed region, such
 // that J ∈ F and a run can realize inf = J; or nil if none exists.
 func (a *Automaton) findAcceptingSCC(allowed []bool) []int {
-	res, _ := a.findAcceptingSCCCtx(context.Background(), allowed)
+	res, err := a.findAcceptingSCCCtx(context.Background(), allowed)
+	if err != nil {
+		// Only reachable under budget exhaustion or fault injection,
+		// neither of which applies to a background context in production;
+		// swallowing the error here would corrupt the verdict (a "no
+		// accepting SCC" answer that is really an abort). The engine's
+		// recovery boundary converts this into an *InternalError.
+		panic(err)
+	}
 	return res
 }
 
-// findAcceptingSCCCtx is findAcceptingSCC with cooperative cancellation:
-// the context is polled once per component and per refinement level, so a
-// long-running search over a large product aborts promptly with ctx.Err().
+// findAcceptingSCCCtx is findAcceptingSCC with cooperative cancellation
+// and resource governance: the context is polled and one budget step is
+// charged per component and per refinement level, so a long-running
+// search over a large product aborts promptly with ctx.Err() or
+// budget.ErrBudgetExceeded.
 func (a *Automaton) findAcceptingSCCCtx(ctx context.Context, allowed []bool) ([]int, error) {
-	if err := ctx.Err(); err != nil {
+	if err := budget.Poll(ctx, 1); err != nil {
 		return nil, err
 	}
 	for _, comp := range a.SCCs(allowed) {
-		if err := ctx.Err(); err != nil {
+		if err := fault.Hit(fault.SiteOmegaEmptiness); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 1); err != nil {
 			return nil, err
 		}
 		if !a.IsCyclic(comp) {
@@ -53,7 +68,12 @@ func (a *Automaton) findAcceptingSCCCtx(ctx context.Context, allowed []bool) ([]
 // violates some pairs, it restricts to the intersection of their P-sets
 // and recurses.
 func (a *Automaton) refineSCC(comp []int) []int {
-	res, _ := a.refineSCCCtx(context.Background(), comp)
+	res, err := a.refineSCCCtx(context.Background(), comp)
+	if err != nil {
+		// See findAcceptingSCC: an abort must not masquerade as "not
+		// accepting".
+		panic(err)
+	}
 	return res
 }
 

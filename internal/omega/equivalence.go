@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/budget"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -34,7 +35,7 @@ func (a *Automaton) ContainsCtx(ctx context.Context, b *Automaton) (bool, word.L
 	sp := obs.Start("omega.contains").Int("left_states", len(a.trans)).Int("right_states", len(b.trans))
 	defer sp.End()
 	// Build the product structure with both pair lists lifted.
-	prod, err := a.Intersect(b)
+	prod, err := a.IntersectCtx(ctx, b)
 	if err != nil {
 		return false, word.Lasso{}, err
 	}
@@ -45,7 +46,7 @@ func (a *Automaton) ContainsCtx(ctx context.Context, b *Automaton) (bool, word.L
 	reach := prod.Reachable()
 
 	for _, broken := range aPairs {
-		if err := ctx.Err(); err != nil {
+		if err := budget.Poll(ctx, 1); err != nil {
 			return false, word.Lasso{}, err
 		}
 		allowed := make([]bool, n)

@@ -1,8 +1,11 @@
 package omega
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/budget"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -16,6 +19,14 @@ var (
 // (Streett conditions are conjunctive, so the product needs no further
 // machinery). Only reachable product states are materialized.
 func (a *Automaton) Intersect(b *Automaton) (*Automaton, error) {
+	return a.IntersectCtx(context.Background(), b)
+}
+
+// IntersectCtx is Intersect with resource governance: every materialized
+// product state is charged against the context's budget, so a product
+// blowup over a chain of intersections aborts with
+// budget.ErrBudgetExceeded instead of exhausting memory.
+func (a *Automaton) IntersectCtx(ctx context.Context, b *Automaton) (*Automaton, error) {
 	if !a.alpha.Equal(b.alpha) {
 		return nil, fmt.Errorf("omega: product over different alphabets %v and %v", a.alpha, b.alpha)
 	}
@@ -39,6 +50,15 @@ func (a *Automaton) Intersect(b *Automaton) (*Automaton, error) {
 	get(pr{a.start, b.start})
 	var trans [][]int
 	for i := 0; i < len(order); i++ {
+		if err := fault.Hit(fault.SiteOmegaProduct); err != nil {
+			return nil, err
+		}
+		if err := budget.Poll(ctx, 0); err != nil {
+			return nil, err
+		}
+		if err := budget.ChargeStates(ctx, 1); err != nil {
+			return nil, err
+		}
 		p := order[i]
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
@@ -81,13 +101,19 @@ func (a *Automaton) Intersect(b *Automaton) (*Automaton, error) {
 
 // IntersectAll folds Intersect over a non-empty list of automata.
 func IntersectAll(autos ...*Automaton) (*Automaton, error) {
+	return IntersectAllCtx(context.Background(), autos...)
+}
+
+// IntersectAllCtx is IntersectAll with resource governance threaded into
+// every pairwise product.
+func IntersectAllCtx(ctx context.Context, autos ...*Automaton) (*Automaton, error) {
 	if len(autos) == 0 {
 		return nil, fmt.Errorf("omega: IntersectAll needs at least one automaton")
 	}
 	out := autos[0]
 	for _, next := range autos[1:] {
 		var err error
-		out, err = out.Intersect(next)
+		out, err = out.IntersectCtx(ctx, next)
 		if err != nil {
 			return nil, err
 		}

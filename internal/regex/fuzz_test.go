@@ -1,35 +1,56 @@
 package regex
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/alphabet"
 )
 
-// TestParseRobustness feeds arbitrary expression-shaped strings to the
-// regex parser: no panics, and successful finitary parses must compile.
-func TestParseRobustness(t *testing.T) {
-	letters := []byte("ab+*^w()3.0ε")
-	rng := rand.New(rand.NewSource(81))
+// FuzzRegexParse feeds arbitrary expression-shaped strings to the regex
+// parser: no panics, successful parses must survive the print/re-parse
+// round trip, and every parsed expression must compile (symbols outside
+// the alphabet being the one legitimate compile-time error). The seed
+// corpus covers the whole grammar — union, star, ω-power, numeric
+// repetition, ε — plus unbalanced and empty near-misses.
+func FuzzRegexParse(f *testing.F) {
+	seeds := []string{
+		"a",
+		"(a+b)*",
+		".*b",
+		"a^w",
+		"(a+b)*a^w",
+		"ab3",
+		"ε",
+		"a.b",
+		"((a))",
+		"(a",  // unbalanced
+		"+a",  // operator with no left operand
+		"a^",  // dangling power
+		"3",   // bare repetition count
+		"",    // empty
+		"w*w", // 'w' as a plain symbol vs ω-power marker
+		"a*b*c*",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
 	alpha := alphabet.MustLetters("abw")
-	compiled := 0
-	for i := 0; i < 3000; i++ {
-		n := rng.Intn(16)
-		buf := make([]byte, n)
-		for j := range buf {
-			buf[j] = letters[rng.Intn(len(letters))]
-		}
-		node, err := Parse(string(buf))
+	okErr := func(err error) bool {
+		return err == nil || strings.Contains(err.Error(), "not in alphabet")
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		node, err := Parse(input)
 		if err != nil {
-			continue
+			return
 		}
-		// Symbols outside the alphabet are a legitimate compile-time
-		// error; anything else would be a bug.
-		okErr := func(err error) bool {
-			return err == nil || strings.Contains(err.Error(), "not in alphabet")
+		printed := node.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("parse(%q) ok but print %q does not re-parse: %v", input, printed, err)
+		}
+		if printed != again.String() {
+			t.Fatalf("round trip changed %q: %q vs %q", input, printed, again)
 		}
 		if ContainsOmega(node) {
 			if _, err := CompileOmega(node, alpha); !okErr(err) {
@@ -40,45 +61,5 @@ func TestParseRobustness(t *testing.T) {
 				t.Fatalf("valid parse %q failed to compile: %v", node, err)
 			}
 		}
-		compiled++
-	}
-	if compiled == 0 {
-		t.Error("no random expression parsed — generator too hostile")
-	}
-}
-
-// TestParseQuickBytes: arbitrary bytes never panic the parser.
-func TestParseQuickBytes(t *testing.T) {
-	f := func(data []byte) bool {
-		_, _ = Parse(string(data))
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Error(err)
-	}
-}
-
-// TestOmegaParseTextQuick is in package omega; here check the printer
-// round trip property on random parsed nodes.
-func TestPrintParseRoundTrip(t *testing.T) {
-	letters := []byte("ab+*^w()3.")
-	rng := rand.New(rand.NewSource(83))
-	for i := 0; i < 2000; i++ {
-		n := 1 + rng.Intn(12)
-		buf := make([]byte, n)
-		for j := range buf {
-			buf[j] = letters[rng.Intn(len(letters))]
-		}
-		node, err := Parse(string(buf))
-		if err != nil {
-			continue
-		}
-		again, err := Parse(node.String())
-		if err != nil {
-			t.Fatalf("print of %q (%q) does not re-parse: %v", string(buf), node, err)
-		}
-		if node.String() != again.String() {
-			t.Fatalf("round trip changed %q: %q vs %q", string(buf), node, again)
-		}
-	}
+	})
 }

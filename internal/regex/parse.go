@@ -13,7 +13,7 @@ import (
 //	term    := factor factor*
 //	factor  := atom suffix*
 //	suffix  := '*' | '^' ('+' | 'w' | integer)
-//	atom    := symbol | '.' | '0' (empty language) | 'ε' | '(' expr ')'
+//	atom    := symbol | '.' | '0' or '∅' (empty language) | 'ε' | '(' expr ')'
 //
 // Symbols are single letters (a-z, A-Z) or digits 1-9; '.' denotes Σ.
 // ω-powers must be in tail position (validated).
@@ -147,7 +147,7 @@ func (p *parser) parseAtom() (Node, error) {
 	case r == '.':
 		p.next()
 		return Any{}, nil
-	case r == '0':
+	case r == '0' || r == '∅':
 		p.next()
 		return Empty{}, nil
 	case r == 'ε':

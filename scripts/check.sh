@@ -24,4 +24,47 @@ go vet -copylocks -structtag ./internal/engine/ .
 echo "== go test -race =="
 go test -race ./...
 
+# Native fuzz targets: a short coverage-guided smoke per parser. Any
+# crasher found here lands in testdata/fuzz/ as a regression seed.
+echo "== fuzz smoke (10s per target) =="
+go test -run='^$' -fuzz=FuzzLTLParse -fuzztime=10s ./internal/ltl/
+go test -run='^$' -fuzz=FuzzRegexParse -fuzztime=10s ./internal/regex/
+go test -run='^$' -fuzz=FuzzOmegaParseText -fuzztime=10s ./internal/omega/
+
+# CLI failure modes: malformed or refused inputs must exit non-zero with
+# a one-line diagnostic on stderr — never a stack trace, never success.
+echo "== CLI exit codes =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp" ./cmd/classify ./cmd/speccheck
+
+cli_must_fail() { # name, expected stderr substring, then the command
+    local name=$1 want=$2; shift 2
+    local out rc=0
+    out=$("$@" 2>&1 >/dev/null) || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "$name: expected non-zero exit" >&2; exit 1
+    fi
+    if [[ "$out" == *goroutine* || "$out" == *panic:* ]]; then
+        echo "$name: stack trace leaked to the user:" >&2
+        echo "$out" >&2; exit 1
+    fi
+    if [[ "$out" != *"$want"* ]]; then
+        echo "$name: diagnostic missing '$want':" >&2
+        echo "$out" >&2; exit 1
+    fi
+}
+
+: > "$tmp/empty.txt"
+cli_must_fail "classify empty batch" "empty input" \
+    "$tmp/classify" -batch "$tmp/empty.txt"
+cli_must_fail "speccheck empty file" "no formulas" \
+    "$tmp/speccheck" -f "$tmp/empty.txt"
+cli_must_fail "classify mismatched alphabet" "not in alphabet" \
+    "$tmp/classify" -op R -regex '.*c' -alphabet ab
+cli_must_fail "classify budget exceeded" "budget exceeded" \
+    "$tmp/classify" -budget 1 'G (req -> F ack)'
+cli_must_fail "speccheck budget exceeded" "budget exceeded" \
+    "$tmp/speccheck" -budget 1 'G (req -> F ack)'
+
 echo "ok"
