@@ -1,0 +1,194 @@
+package core_test
+
+// Metamorphic tests for the hierarchy classification (§2 of the paper):
+// relations that must hold between the classifications of related
+// properties, regardless of what the properties are.
+//
+//   - Duality: the complement of a safety property is a guarantee
+//     property and vice versa; recurrence and persistence are likewise
+//     dual; obligation and reactivity are self-dual.
+//   - Closure: every class of the hierarchy is closed under finite
+//     intersection and union, checked at the formula level (∧/∨) and at
+//     the automaton level (Intersect).
+//
+// Random inputs come from gen; the relations are checked exactly, so a
+// disagreement pinpoints a classification bug without needing a known-
+// good verdict for either input alone.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ltl"
+)
+
+var metAB = alphabet.MustLetters("ab")
+
+func metCases(t *testing.T) int {
+	if testing.Short() {
+		return 40
+	}
+	return 200
+}
+
+// TestMetamorphicComplementDuality checks the duality columns of the
+// hierarchy on random single-pair Streett automata and their exact
+// complements.
+func TestMetamorphicComplementDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1990))
+	for i := 0; i < metCases(t); i++ {
+		a := gen.RandomStreett(rng, metAB, 2+rng.Intn(4), 1, 0.4, 0.4)
+		comp, err := a.ComplementSinglePair()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		ca := core.ClassifyAutomaton(a)
+		cc := core.ClassifyAutomaton(comp)
+		if ca.Safety != cc.Guarantee || ca.Guarantee != cc.Safety {
+			t.Errorf("case %d: safety/guarantee not dual: %+v vs %+v\n%s", i, ca, cc, a.Text())
+		}
+		if ca.Recurrence != cc.Persistence || ca.Persistence != cc.Recurrence {
+			t.Errorf("case %d: recurrence/persistence not dual: %+v vs %+v\n%s", i, ca, cc, a.Text())
+		}
+		if ca.Obligation != cc.Obligation {
+			t.Errorf("case %d: obligation not self-dual: %+v vs %+v\n%s", i, ca, cc, a.Text())
+		}
+		if !ca.Reactivity || !cc.Reactivity {
+			t.Errorf("case %d: reactivity must hold for every Streett property", i)
+		}
+		// The complement construction itself must flip acceptance on
+		// every word, otherwise the duality check above is vacuous.
+		if i%8 == 0 {
+			for _, w := range lassoSample {
+				inA, err := a.Accepts(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inC, err := comp.Accepts(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if inA == inC {
+					t.Fatalf("case %d: complement agrees with original on %v", i, w)
+				}
+			}
+		}
+	}
+}
+
+// lassoSample is a small exhaustive corpus for semantic spot checks.
+var lassoSample = gen.Lassos(metAB, 2, 3)
+
+// TestMetamorphicNegationDuality checks the same dualities through the
+// formula pipeline: Classify(¬φ) must swap safety↔guarantee and
+// recurrence↔persistence whenever ¬φ is itself compilable.
+func TestMetamorphicNegationDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	props := []string{"p", "q"}
+	checked := 0
+	for i := 0; checked < metCases(t)/2 && i < 50*metCases(t); i++ {
+		f := gen.RandomNormalizable(rng, props, 1)
+		neg := ltl.Not{F: f}
+		cn, err := core.ClassifyFormula(neg, props)
+		if err != nil {
+			continue // ¬φ outside the normalizable fragment: not this test's concern
+		}
+		cf, err := core.ClassifyFormula(f, props)
+		if err != nil {
+			t.Fatalf("case %d: φ compilable as ¬¬φ but not directly: %v", i, err)
+		}
+		checked++
+		if cf.Safety != cn.Guarantee || cf.Guarantee != cn.Safety {
+			t.Errorf("φ=%v: safety/guarantee not dual under ¬: %+v vs %+v", f, cf, cn)
+		}
+		if cf.Recurrence != cn.Persistence || cf.Persistence != cn.Recurrence {
+			t.Errorf("φ=%v: recurrence/persistence not dual under ¬: %+v vs %+v", f, cf, cn)
+		}
+		if cf.Obligation != cn.Obligation {
+			t.Errorf("φ=%v: obligation not self-dual under ¬: %+v vs %+v", f, cf, cn)
+		}
+	}
+	if checked < metCases(t)/4 {
+		t.Fatalf("only %d negation-compilable samples; generator or fragment regressed", checked)
+	}
+}
+
+// TestMetamorphicBooleanClosure checks §2's closure table at the formula
+// level: every class is closed under ∧ and ∨.
+func TestMetamorphicBooleanClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	props := []string{"p", "q"}
+	for i := 0; i < metCases(t)/2; i++ {
+		f := gen.RandomNormalizable(rng, props, 1)
+		g := gen.RandomNormalizable(rng, props, 1)
+		cf, err := core.ClassifyFormula(f, props)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		cg, err := core.ClassifyFormula(g, props)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for _, op := range []struct {
+			name string
+			comb ltl.Formula
+		}{
+			{"∧", ltl.And{L: f, R: g}},
+			{"∨", ltl.Or{L: f, R: g}},
+		} {
+			cc, err := core.ClassifyFormula(op.comb, props)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, op.name, err)
+			}
+			checkClosure(t, op.name, f, g, cf, cg, cc)
+		}
+	}
+}
+
+// TestMetamorphicIntersectClosure checks the same closure at the
+// automaton level: Intersect of two automata in a class stays in it.
+func TestMetamorphicIntersectClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < metCases(t)/2; i++ {
+		a := gen.RandomStreett(rng, metAB, 2+rng.Intn(3), 1+rng.Intn(2), 0.4, 0.4)
+		b := gen.RandomStreett(rng, metAB, 2+rng.Intn(3), 1+rng.Intn(2), 0.4, 0.4)
+		prod, err := a.Intersect(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		ca := core.ClassifyAutomaton(a)
+		cb := core.ClassifyAutomaton(b)
+		cp := core.ClassifyAutomaton(prod)
+		checkClosure(t, "Intersect", a, b, ca, cb, cp)
+	}
+}
+
+// checkClosure asserts the hierarchy's finite-combination closure: when
+// both operands are in a class, so is the combination. (The converse is
+// false — combinations can land lower in the hierarchy — so only the
+// forward direction is a metamorphic law.)
+func checkClosure(t *testing.T, op string, f, g any, cf, cg, cc core.Classification) {
+	t.Helper()
+	type cls struct {
+		name    string
+		a, b, c bool
+	}
+	for _, x := range []cls{
+		{"safety", cf.Safety, cg.Safety, cc.Safety},
+		{"guarantee", cf.Guarantee, cg.Guarantee, cc.Guarantee},
+		{"obligation", cf.Obligation, cg.Obligation, cc.Obligation},
+		{"recurrence", cf.Recurrence, cg.Recurrence, cc.Recurrence},
+		{"persistence", cf.Persistence, cg.Persistence, cc.Persistence},
+	} {
+		if x.a && x.b && !x.c {
+			t.Errorf("%s not closed under %s:\n  left  %v (%+v)\n  right %v (%+v)\n  combination %+v",
+				x.name, op, f, cf, g, cg, cc)
+		}
+	}
+	if !cc.Reactivity {
+		t.Errorf("combination under %s lost reactivity", op)
+	}
+}

@@ -85,11 +85,15 @@ func IsUniformLiveness(a *omega.Automaton, maxStates int) (bool, error) {
 	for i, q := range restarts {
 		autos[i] = a.WithStart(q)
 	}
-	prod, err := omega.IntersectAll(autos...)
+	// Lazy intersection: a uniform witness short-circuits as soon as the
+	// explored region of the restart product contains an accepting cycle,
+	// which keeps the exponential blow-up a worst case instead of the
+	// every-call cost.
+	_, ok, err := omega.IntersectWitness(autos...)
 	if err != nil {
 		return false, err
 	}
-	return !prod.IsEmpty(), nil
+	return ok, nil
 }
 
 // VerifySLDecomposition checks Π = Π_S ∩ Π_L exactly and that the

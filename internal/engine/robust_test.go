@@ -299,3 +299,37 @@ func TestContainsUnderBudget(t *testing.T) {
 		t.Fatalf("containment after abort = %v, fresh engine = %v", ok, wantOK)
 	}
 }
+
+// TestContainsUnderLazyFault checks the cache-hygiene rule at the new
+// lazy-exploration site: a containment query aborted mid-exploration by
+// an injected fault surfaces the error, leaves nothing in the memo
+// cache, and the warm retry matches a fresh engine.
+func TestContainsUnderLazyFault(t *testing.T) {
+	defer fault.Reset()
+	ab := alphabet.MustLetters("ab")
+	// Containment holds, so the lazy path must explore the full product —
+	// plenty of hits at the lazy site for the injection to land on.
+	a, b := gen.NestedCounters(ab, 3, 4)
+	eng := engine.New()
+	boom := errors.New("injected lazy fault")
+	cleanup := fault.InjectError(fault.SiteOmegaLazy, 5, boom)
+	_, _, err := eng.Contains(context.Background(), a, b)
+	cleanup()
+	if !errors.Is(err, boom) {
+		t.Fatalf("faulted containment should surface the injection, got %v", err)
+	}
+	ok, w, err := eng.Contains(context.Background(), a, b)
+	if err != nil {
+		t.Fatalf("warm retry after lazy fault: %v", err)
+	}
+	if !ok {
+		t.Fatalf("NestedCounters containment must hold, got witness %v", w)
+	}
+	wantOK, _, err := engine.New().Contains(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != wantOK {
+		t.Fatalf("warm retry %v != fresh engine %v — faulted verdict was cached", ok, wantOK)
+	}
+}

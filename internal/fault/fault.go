@@ -24,15 +24,16 @@ import (
 // Injection sites wired into the pipeline. The constants are the
 // catalog; DESIGN.md §7 documents where each one sits.
 const (
-	SiteDFAProduct     = "dfa.product"       // per product state materialized
-	SiteDFADeterminize = "dfa.determinize"   // per subset-construction state
-	SiteDFAMinimize    = "dfa.minimize"      // per Hopcroft splitter pass
-	SiteCompilePast    = "compile.past2dfa"  // per past-formula DFA state
-	SiteOmegaProduct   = "omega.product"     // per ω-product state
-	SiteOmegaEmptiness = "omega.emptiness"   // per SCC examined
-	SiteOmegaMerge     = "omega.mergebuchi"  // per counter-merge state
-	SiteEngineTask     = "engine.task"       // per pool task started
-	SiteEngineBatch    = "engine.batch.item" // per batch item started
+	SiteDFAProduct     = "dfa.product"        // per product state materialized
+	SiteDFADeterminize = "dfa.determinize"    // per subset-construction state
+	SiteDFAMinimize    = "dfa.minimize"       // per Hopcroft splitter pass
+	SiteCompilePast    = "compile.past2dfa"   // per past-formula DFA state
+	SiteOmegaProduct   = "omega.product"      // per ω-product state
+	SiteOmegaEmptiness = "omega.emptiness"    // per SCC examined
+	SiteOmegaLazy      = "omega.lazy.explore" // per lazily materialized product state
+	SiteOmegaMerge     = "omega.mergebuchi"   // per counter-merge state
+	SiteEngineTask     = "engine.task"        // per pool task started
+	SiteEngineBatch    = "engine.batch.item"  // per batch item started
 )
 
 // armed short-circuits Hit while nothing is injected.

@@ -105,6 +105,91 @@ func RandomStreett(rng *rand.Rand, alpha *alphabet.Alphabet, n, pairs int, rProb
 	return omega.MustNew(alpha, trans, 0, ps)
 }
 
+// ModCounter returns a deterministic Streett automaton over alpha that
+// counts occurrences of the first symbol modulo m (the other symbols
+// leave the count unchanged) with a single acceptance pair: state c is in
+// R iff rOf(c) and in P iff pOf(c). Products of counters with coprime
+// moduli multiply state counts (CRT), which makes the family the
+// building block of the product-heavy benchmark workloads: eager
+// constructions pay m₁·m₂ states where the lazy explorer often needs a
+// few dozen.
+func ModCounter(alpha *alphabet.Alphabet, m int, rOf, pOf func(int) bool) *omega.Automaton {
+	k := alpha.Size()
+	trans := make([][]int, m)
+	p := omega.Pair{R: make([]bool, m), P: make([]bool, m)}
+	for c := 0; c < m; c++ {
+		row := make([]int, k)
+		row[0] = (c + 1) % m
+		for s := 1; s < k; s++ {
+			row[s] = c
+		}
+		trans[c] = row
+		if rOf != nil {
+			p.R[c] = rOf(c)
+		}
+		if pOf != nil {
+			p.P[c] = pOf(c)
+		}
+	}
+	return omega.MustNew(alpha, trans, 0, []omega.Pair{p})
+}
+
+// ShallowCounterexample returns a pair (a, b) over coprime moduli m1, m2
+// with L(a) ⊉ L(b) and a counterexample reachable within a handful of
+// product states: b accepts words where the count mod m2 hits 0
+// infinitely often (true of every word), while a requires the count mod
+// m1 to hit 0 infinitely often but rejects runs that stall — so a word
+// repeating a non-first symbol forever is a shallow witness. The full
+// product has m1·m2 reachable states; the witness needs only the
+// diagonal prefix.
+func ShallowCounterexample(alpha *alphabet.Alphabet, m1, m2 int) (a, b *omega.Automaton) {
+	// a: the count mod m1 must hit 0 infinitely often. A run that stops
+	// incrementing (loops on a non-first symbol away from 0) violates it.
+	a = ModCounter(alpha, m1, func(c int) bool { return c == 0 }, nil)
+	// b: trivially satisfied pair (every state in P) — accepts Σ^ω.
+	b = ModCounter(alpha, m2, nil, func(int) bool { return true })
+	return a, b
+}
+
+// NestedCounters returns a pair (a, b) over coprime moduli with
+// L(a) ⊇ L(b): b counts mod m1·m2 and accepts iff the count hits 0 mod
+// m1·m2 infinitely often, which implies a's weaker demand that it hits
+// 0 mod m1 infinitely often. Deciding the containment requires the whole
+// reachable product (m1·m2 states, the count mod m1 being determined by
+// the count mod m1·m2) — the family where lazy exploration has no early
+// exit and must match the eager cost.
+func NestedCounters(alpha *alphabet.Alphabet, m1, m2 int) (a, b *omega.Automaton) {
+	a = ModCounter(alpha, m1, func(c int) bool { return c == 0 }, nil)
+	b = ModCounter(alpha, m1*m2, func(c int) bool { return c == 0 }, nil)
+	return a, b
+}
+
+// EmptyIntersectionFamily returns counters with pairwise-incompatible
+// persistence demands over one modulus: factor i accepts iff the count
+// is eventually always ≡ i+1 (mod m). Any two factors conflict, so the
+// intersection is empty and both eager and lazy paths must exhaust the
+// diagonal product to prove it.
+func EmptyIntersectionFamily(alpha *alphabet.Alphabet, m, factors int) []*omega.Automaton {
+	out := make([]*omega.Automaton, factors)
+	for i := range out {
+		target := (i + 1) % m
+		out[i] = ModCounter(alpha, m, nil, func(c int) bool { return c == target })
+	}
+	return out
+}
+
+// EarlyWitnessIntersection returns counters over coprime moduli whose
+// intersection is non-empty with a witness at the very start of the
+// product: every factor accepts when the count is 0 infinitely often,
+// and the word that never increments realizes it in the initial state.
+func EarlyWitnessIntersection(alpha *alphabet.Alphabet, moduli ...int) []*omega.Automaton {
+	out := make([]*omega.Automaton, len(moduli))
+	for i, m := range moduli {
+		out[i] = ModCounter(alpha, m, nil, func(c int) bool { return c == 0 })
+	}
+	return out
+}
+
 // RandomLasso returns a random lasso word with prefix length ≤ maxPrefix
 // and loop length in [1, maxLoop].
 func RandomLasso(rng *rand.Rand, alpha *alphabet.Alphabet, maxPrefix, maxLoop int) word.Lasso {

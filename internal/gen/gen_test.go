@@ -7,6 +7,8 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/gen"
 	"repro/internal/ltl"
+	"repro/internal/omega"
+	"repro/internal/word"
 )
 
 var ab = alphabet.MustLetters("ab")
@@ -74,6 +76,96 @@ func TestRandomLassoBounds(t *testing.T) {
 		w := gen.RandomLasso(rng, ab, 3, 4)
 		if w.PrefixLen() > 3 || w.LoopLen() < 1 || w.LoopLen() > 4 {
 			t.Fatalf("bounds violated: %v", w)
+		}
+	}
+}
+
+func TestModCounterShape(t *testing.T) {
+	a := gen.ModCounter(ab, 5, func(c int) bool { return c == 0 }, nil)
+	if a.NumStates() != 5 || a.NumPairs() != 1 {
+		t.Fatalf("shape: %d states %d pairs", a.NumStates(), a.NumPairs())
+	}
+	// (a)^ω cycles through all residues and hits 0 infinitely often.
+	ok, err := a.Accepts(word.MustLassoStrings("", "a"))
+	if err != nil || !ok {
+		t.Errorf("counter should accept (a)^ω: %v %v", ok, err)
+	}
+	// a(b)^ω parks the count at 1 forever.
+	ok, err = a.Accepts(word.MustLassoStrings("a", "b"))
+	if err != nil || ok {
+		t.Errorf("counter should reject a(b)^ω: %v %v", ok, err)
+	}
+}
+
+func TestShallowCounterexampleFamily(t *testing.T) {
+	a, b := gen.ShallowCounterexample(ab, 5, 3)
+	ok, w, err := a.Contains(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("family must violate containment")
+	}
+	inB, err := b.Accepts(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA, err := a.Accepts(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inB || inA {
+		t.Errorf("witness %v not in L(b)−L(a): inB=%v inA=%v", w, inB, inA)
+	}
+}
+
+func TestNestedCountersContain(t *testing.T) {
+	a, b := gen.NestedCounters(ab, 3, 4)
+	ok, w, err := a.Contains(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("family must satisfy containment, got witness %v", w)
+	}
+	if !w.IsZero() {
+		t.Errorf("true verdict must carry the zero lasso, got %v", w)
+	}
+}
+
+func TestEmptyIntersectionFamily(t *testing.T) {
+	autos := gen.EmptyIntersectionFamily(ab, 4, 3)
+	_, ok, err := omega.IntersectWitness(autos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("family intersection must be empty")
+	}
+	// Each factor alone is non-empty.
+	for i, a := range autos {
+		if a.IsEmpty() {
+			t.Errorf("factor %d should be non-empty alone", i)
+		}
+	}
+}
+
+func TestEarlyWitnessIntersection(t *testing.T) {
+	autos := gen.EarlyWitnessIntersection(ab, 3, 5, 7)
+	w, ok, err := omega.IntersectWitness(autos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("family intersection must be non-empty")
+	}
+	for i, a := range autos {
+		in, err := a.Accepts(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in {
+			t.Errorf("witness %v rejected by factor %d", w, i)
 		}
 	}
 }

@@ -25,8 +25,13 @@ import (
 var (
 	cntVerifyCalls  = obs.NewCounter("mc.verify.calls")
 	cntRefineRounds = obs.NewCounter("mc.refine.rounds")
+	cntLazyNodes    = obs.NewCounter("mc.lazy.nodes_materialized")
 	histRefineSizes = obs.NewHistogram("mc.refine.component_size")
 )
+
+// mcFirstWave is the node bound of the first lazy exploration wave of the
+// fair product; each following wave doubles it (see searchFairAccepting).
+const mcFirstWave = 64
 
 // Trace is a lasso-shaped computation of the system: the states of the
 // transient prefix followed by the repeating loop.
@@ -135,6 +140,16 @@ type prodEdge struct {
 
 // product is the synchronous product of the system and a property
 // automaton: node = (system state, automaton state after reading it).
+// Nodes are materialized lazily, in discovery order: nodes below closed
+// have final edge lists, nodes at or above it form the unexplored
+// frontier (nil edge lists). The closed region is therefore always a
+// BFS-reachable prefix of the full product, and any fair accepting
+// component found inside it is a genuine counterexample of the full
+// product — refine inspects only component-internal structure (automaton
+// pairs over the component's q states, fairness enabledness over its
+// system states, and edges between component nodes, all of which are
+// closed), so early exits before full construction are sound. Only the
+// "property holds" verdict requires the whole reachable product.
 type product struct {
 	sys    *ts.System
 	aut    *omega.Automaton
@@ -142,13 +157,14 @@ type product struct {
 	nodes  []prodNode
 	index  map[prodNode]int
 	edges  [][]prodEdge
+	closed int // nodes 0..closed-1 have materialized edges
 	inits  []int
 	autSym []alphabet.Symbol // per system state, its input symbol
 }
 
 type prodNode struct{ s, q int }
 
-func buildProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product, error) {
+func newProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product, error) {
 	sp := obs.Start("mc.product").Int("sys_states", sys.NumStates()).Int("aut_states", aut.NumStates())
 	defer sp.End()
 	p := &product{sys: sys, aut: aut, props: props, index: map[prodNode]int{}}
@@ -159,56 +175,85 @@ func buildProduct(sys *ts.System, aut *omega.Automaton, props []string) (*produc
 			return nil, fmt.Errorf("mc: state %q symbol %q not in property alphabet", sys.StateName(s), p.autSym[s])
 		}
 	}
-	get := func(n prodNode) int {
-		if i, ok := p.index[n]; ok {
-			return i
-		}
-		i := len(p.nodes)
-		p.index[n] = i
-		p.nodes = append(p.nodes, n)
-		p.edges = append(p.edges, nil)
-		return i
-	}
 	for _, s0 := range sys.Init() {
 		q0 := aut.Step(aut.Start(), p.autSym[s0])
-		p.inits = append(p.inits, get(prodNode{s0, q0}))
+		p.inits = append(p.inits, p.get(prodNode{s0, q0}))
 	}
-	nEdges := 0
-	for i := 0; i < len(p.nodes); i++ {
-		n := p.nodes[i]
-		for ti, tr := range sys.Transitions() {
-			for _, s2 := range tr.Successors(n.s) {
-				q2 := aut.Step(n.q, p.autSym[s2])
-				j := get(prodNode{s2, q2})
-				p.edges[i] = append(p.edges[i], prodEdge{to: j, trans: ti})
-				nEdges++
-			}
-		}
-	}
-	sp.Int("nodes", len(p.nodes)).Int("edges", nEdges)
 	return p, nil
 }
 
+// get interns a product node, returning its index; new nodes join the
+// frontier with no edges.
+func (p *product) get(n prodNode) int {
+	if i, ok := p.index[n]; ok {
+		return i
+	}
+	i := len(p.nodes)
+	p.index[n] = i
+	p.nodes = append(p.nodes, n)
+	p.edges = append(p.edges, nil)
+	return i
+}
+
+// explore materializes node edges in discovery order until either the
+// whole reachable product is closed (returning true) or at least limit
+// nodes are.
+func (p *product) explore(limit int) bool {
+	before := p.closed
+	for p.closed < len(p.nodes) && p.closed < limit {
+		i := p.closed
+		n := p.nodes[i]
+		for ti, tr := range p.sys.Transitions() {
+			for _, s2 := range tr.Successors(n.s) {
+				q2 := p.aut.Step(n.q, p.autSym[s2])
+				j := p.get(prodNode{s2, q2})
+				p.edges[i] = append(p.edges[i], prodEdge{to: j, trans: ti})
+			}
+		}
+		p.closed++
+	}
+	if d := p.closed - before; d > 0 {
+		cntLazyNodes.Add(int64(d))
+	}
+	return p.closed == len(p.nodes)
+}
+
 // searchFairAccepting looks for a fair computation of sys accepted by the
-// automaton, returning it as a trace of system states.
+// automaton, returning it as a trace of system states. The product is
+// explored in doubling waves, with the fair-SCC search re-run over the
+// closed region after each wave, so a shallow counterexample is found
+// after materializing a few dozen nodes; the full product is built only
+// when no counterexample exists.
 func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (Trace, bool, error) {
-	p, err := buildProduct(sys, aut, props)
+	p, err := newProduct(sys, aut, props)
 	if err != nil {
 		return Trace{}, false, err
 	}
-	allowed := make([]bool, len(p.nodes))
-	for i := range allowed {
-		allowed[i] = true
+	sp := obs.Start("mc.search")
+	defer sp.End()
+	waves := 0
+	for limit := mcFirstWave; ; limit *= 2 {
+		done := p.explore(limit)
+		waves++
+		allowed := make([]bool, len(p.nodes))
+		for i := 0; i < p.closed; i++ {
+			allowed[i] = true
+		}
+		comp, need := p.findFairAcceptingSCC(allowed)
+		if comp == nil && !done {
+			continue
+		}
+		sp.Bool("found", comp != nil).
+			Int("nodes_materialized", p.closed).Int("waves", waves)
+		if comp == nil {
+			return Trace{}, false, nil
+		}
+		if !done {
+			sp.Bool("early_exit", true)
+		}
+		tr, ok := p.extractTrace(comp, need)
+		return tr, ok, nil
 	}
-	sp := obs.Start("mc.search").Int("nodes", len(p.nodes))
-	comp, need := p.findFairAcceptingSCC(allowed)
-	sp.Bool("found", comp != nil)
-	sp.End()
-	if comp == nil {
-		return Trace{}, false, nil
-	}
-	tr, ok := p.extractTrace(comp, need)
-	return tr, ok, nil
 }
 
 // findFairAcceptingSCC searches for a strongly connected node set C such

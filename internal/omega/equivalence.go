@@ -2,7 +2,6 @@ package omega
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/alphabet"
 	"repro/internal/budget"
@@ -11,28 +10,50 @@ import (
 )
 
 // Contains reports whether L(a) ⊇ L(b), exactly. On failure it returns a
-// witness lasso in L(b) − L(a).
+// witness lasso in L(b) − L(a); on success the witness is the zero
+// lasso, recognizable with word.Lasso.IsZero (a real witness always has
+// a non-empty loop, the zero value never does).
 func (a *Automaton) Contains(b *Automaton) (bool, word.Lasso, error) {
 	return a.ContainsCtx(context.Background(), b)
 }
 
-// ContainsCtx is Contains with cooperative cancellation: the context is
-// polled between candidate broken pairs and inside the emptiness
-// refinement, so containment over a large product aborts promptly when
-// the caller cancels.
+// ContainsCtx is Contains with cooperative cancellation and resource
+// governance. It decides containment lazily: the product of a and b is
+// generated on the fly by a ProductExplorer in doubling waves, and the
+// candidate-broken-pair SCC refinement runs after every wave over the
+// states materialized so far, so a counterexample reachable in a few
+// steps is returned after materializing a few dozen product states — the
+// full product is only built when containment actually holds. Every
+// materialized state is charged against the context's budget, exactly
+// like the eager path. ContainsEagerCtx retains the materialize-then-
+// search procedure as the differential-testing oracle.
 //
-// Method: on the synchronous product, a counterexample is a reachable
-// cyclic set J accepted by b's (lifted) pairs and rejected by a's — i.e.
-// for some a-pair i, J ∩ R_i = ∅ and J ⊄ P_i. For each candidate broken
-// pair i the search restricts the graph to Q − R_i, adds the Streett pair
-// (Q − P_i, ∅) forcing J ⊄ P_i, and runs the standard emptiness
-// refinement with b's pairs. This stays polynomial and needs no Rabin
-// complementation.
+// Method (shared with the eager path): on the synchronous product, a
+// counterexample is a reachable cyclic set J accepted by b's (lifted)
+// pairs and rejected by a's — i.e. for some a-pair i, J ∩ R_i = ∅ and
+// J ⊄ P_i. For each candidate broken pair i the search restricts the
+// graph to Q − R_i, adds the Streett pair (Q − P_i, ∅) forcing J ⊄ P_i,
+// and runs the standard emptiness refinement with b's pairs. This stays
+// polynomial and needs no Rabin complementation.
 func (a *Automaton) ContainsCtx(ctx context.Context, b *Automaton) (bool, word.Lasso, error) {
+	return a.lazyContainsCtx(ctx, b, defaultFirstWave)
+}
+
+// ContainsEager is ContainsEagerCtx with a background context.
+func (a *Automaton) ContainsEager(b *Automaton) (bool, word.Lasso, error) {
+	return a.ContainsEagerCtx(context.Background(), b)
+}
+
+// ContainsEagerCtx decides L(a) ⊇ L(b) by materializing the entire
+// reachable product up front (IntersectCtx) and then searching it. It is
+// retained as the oracle the differential test suite diffs the lazy
+// ContainsCtx against — same verdicts, independent exploration order —
+// and as the reference point for the states-materialized benchmarks.
+func (a *Automaton) ContainsEagerCtx(ctx context.Context, b *Automaton) (bool, word.Lasso, error) {
 	if !a.alpha.Equal(b.alpha) {
-		return false, word.Lasso{}, fmt.Errorf("omega: containment over different alphabets")
+		return false, word.Lasso{}, errAlphabetMismatch("containment", a.alpha, b.alpha)
 	}
-	sp := obs.Start("omega.contains").Int("left_states", len(a.trans)).Int("right_states", len(b.trans))
+	sp := obs.Start("omega.contains.eager").Int("left_states", len(a.trans)).Int("right_states", len(b.trans))
 	defer sp.End()
 	// Build the product structure with both pair lists lifted.
 	prod, err := a.IntersectCtx(ctx, b)
@@ -84,14 +105,15 @@ func (a *Automaton) ContainsCtx(ctx context.Context, b *Automaton) (bool, word.L
 	return true, word.Lasso{}, nil
 }
 
-// Equivalent reports whether L(a) = L(b), exactly. On failure the witness
-// lasso is in the symmetric difference.
+// Equivalent reports whether L(a) = L(b), exactly. On failure the
+// witness lasso is in the symmetric difference; on success it is the
+// zero lasso (word.Lasso.IsZero).
 func (a *Automaton) Equivalent(b *Automaton) (bool, word.Lasso, error) {
 	return a.EquivalentCtx(context.Background(), b)
 }
 
-// EquivalentCtx is Equivalent with cooperative cancellation (see
-// ContainsCtx).
+// EquivalentCtx is Equivalent with cooperative cancellation, built on
+// the lazy ContainsCtx in both directions (see ContainsCtx).
 func (a *Automaton) EquivalentCtx(ctx context.Context, b *Automaton) (bool, word.Lasso, error) {
 	ok, w, err := a.ContainsCtx(ctx, b)
 	if err != nil {
@@ -108,6 +130,16 @@ func (a *Automaton) EquivalentCtx(ctx context.Context, b *Automaton) (bool, word
 		return false, w, nil
 	}
 	return true, word.Lasso{}, nil
+}
+
+// EquivalentEagerCtx is EquivalentCtx on the eager containment oracle,
+// for differential testing.
+func (a *Automaton) EquivalentEagerCtx(ctx context.Context, b *Automaton) (bool, word.Lasso, error) {
+	ok, w, err := a.ContainsEagerCtx(ctx, b)
+	if err != nil || !ok {
+		return ok, w, err
+	}
+	return b.ContainsEagerCtx(ctx, a)
 }
 
 // IsUniversal reports whether the automaton accepts every infinite word.

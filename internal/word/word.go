@@ -158,6 +158,14 @@ func MustLassoStrings(prefix, loop string) Lasso {
 	return w
 }
 
+// IsZero reports whether the lasso is the zero value rather than a real
+// infinite word: every valid lasso has a non-empty loop, the zero value
+// has none. Functions returning a witness lasso alongside a verdict
+// (omega.Contains and friends) return the zero lasso exactly when there
+// is no witness, so callers distinguish "no counterexample" from a
+// counterexample via IsZero rather than by comparing against a fixture.
+func (w Lasso) IsZero() bool { return len(w.loop) == 0 }
+
 // PrefixPart returns a copy of the non-repeating part u.
 func (w Lasso) PrefixPart() Finite {
 	out := make(Finite, len(w.prefix))

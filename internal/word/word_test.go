@@ -249,3 +249,20 @@ func TestDistanceUltrametric(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLassoIsZero(t *testing.T) {
+	var zero Lasso
+	if !zero.IsZero() {
+		t.Error("zero value must report IsZero")
+	}
+	if MustLassoStrings("", "a").IsZero() {
+		t.Error("real lasso must not report IsZero")
+	}
+	if MustLassoStrings("ab", "ba").IsZero() {
+		t.Error("lasso with prefix must not report IsZero")
+	}
+	// The canonical form of a real lasso stays non-zero.
+	if MustLassoStrings("a", "aa").Canonical().IsZero() {
+		t.Error("canonicalization must not zero a real lasso")
+	}
+}

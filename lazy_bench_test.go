@@ -1,0 +1,150 @@
+package temporal_test
+
+// Benchmarks for the lazy product/exploration layer (scripts/bench.sh
+// runs these and cmd/benchjson turns the output into BENCH_pr4.json).
+// Each family pairs a lazy sub-benchmark against the eager oracle on the
+// same inputs and reports, besides ns/op and allocs/op, a states/op
+// metric: product states materialized per operation, read off the obs
+// counters (omega.lazy.states_materialized for the lazy path,
+// omega.product.states for the eager one). The shallow/witness families
+// are where laziness pays — the gate in cmd/benchjson requires the lazy
+// side to materialize at most half the eager side's states there — while
+// the deep/empty families pin the worst case, where the lazy path must
+// exhaust the product and should stay within small-constant overhead.
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/omega"
+)
+
+var lazyBenchAB = alphabet.MustLetters("ab")
+
+// reportStates wraps a benchmark body, attributing the delta of the
+// given state counter across the timed region as the states/op metric.
+func reportStates(b *testing.B, counter string, body func()) {
+	b.Helper()
+	c := obs.NewCounter(counter)
+	before := c.Value()
+	b.ResetTimer()
+	body()
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(c.Value()-before)/float64(b.N), "states/op")
+	}
+}
+
+// BenchmarkLazyContainsShallow: containment fails with a witness a few
+// steps into a product of coprime counters (full product: 97·89 = 8633
+// states). The lazy side should stop after the first wave or two.
+func BenchmarkLazyContainsShallow(b *testing.B) {
+	a, bb := gen.ShallowCounterexample(lazyBenchAB, 97, 89)
+	b.Run("lazy", func(b *testing.B) {
+		reportStates(b, "omega.lazy.states_materialized", func() {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := a.Contains(bb)
+				if err != nil || ok {
+					b.Fatalf("verdict %v err %v", ok, err)
+				}
+			}
+		})
+	})
+	b.Run("eager", func(b *testing.B) {
+		reportStates(b, "omega.product.states", func() {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := a.ContainsEager(bb)
+				if err != nil || ok {
+					b.Fatalf("verdict %v err %v", ok, err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkLazyContainsDeep: containment holds, so both sides explore
+// the whole 13·17-state reachable product — the lazy path's worst case.
+func BenchmarkLazyContainsDeep(b *testing.B) {
+	a, bb := gen.NestedCounters(lazyBenchAB, 13, 17)
+	b.Run("lazy", func(b *testing.B) {
+		reportStates(b, "omega.lazy.states_materialized", func() {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := a.Contains(bb)
+				if err != nil || !ok {
+					b.Fatalf("verdict %v err %v", ok, err)
+				}
+			}
+		})
+	})
+	b.Run("eager", func(b *testing.B) {
+		reportStates(b, "omega.product.states", func() {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := a.ContainsEager(bb)
+				if err != nil || !ok {
+					b.Fatalf("verdict %v err %v", ok, err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkLazyIntersectWitness: a 3-way product (13·17·19 = 4199
+// states) whose intersection has a witness at the start state.
+func BenchmarkLazyIntersectWitness(b *testing.B) {
+	autos := gen.EarlyWitnessIntersection(lazyBenchAB, 13, 17, 19)
+	b.Run("lazy", func(b *testing.B) {
+		reportStates(b, "omega.lazy.states_materialized", func() {
+			for i := 0; i < b.N; i++ {
+				_, ok, err := omega.IntersectWitness(autos...)
+				if err != nil || !ok {
+					b.Fatalf("verdict %v err %v", ok, err)
+				}
+			}
+		})
+	})
+	b.Run("eager", func(b *testing.B) {
+		reportStates(b, "omega.product.states", func() {
+			for i := 0; i < b.N; i++ {
+				prod, err := omega.IntersectAll(autos...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := prod.WitnessLasso(); !ok {
+					b.Fatal("intersection should be non-empty")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkLazyIntersectEmpty: pairwise-incompatible persistence
+// demands; emptiness can only be concluded after the full (diagonal)
+// product, so the two sides materialize the same states.
+func BenchmarkLazyIntersectEmpty(b *testing.B) {
+	autos := gen.EmptyIntersectionFamily(lazyBenchAB, 64, 3)
+	b.Run("lazy", func(b *testing.B) {
+		reportStates(b, "omega.lazy.states_materialized", func() {
+			for i := 0; i < b.N; i++ {
+				_, ok, err := omega.IntersectWitness(autos...)
+				if err != nil || ok {
+					b.Fatalf("verdict %v err %v", ok, err)
+				}
+			}
+		})
+	})
+	b.Run("eager", func(b *testing.B) {
+		reportStates(b, "omega.product.states", func() {
+			for i := 0; i < b.N; i++ {
+				prod, err := omega.IntersectAll(autos...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !prod.IsEmpty() {
+					b.Fatal("intersection should be empty")
+				}
+			}
+		})
+	})
+}

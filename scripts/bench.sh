@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Benchmark harness for the lazy exploration layer (PR 4).
+#
+# Runs the curated benchmark set — the BenchmarkLazy* eager-vs-lazy
+# families over the product-heavy generators in internal/gen, plus the
+# pipeline benchmarks that exercise containment/equivalence and the
+# model checker end to end — and converts the output into a JSON
+# snapshot via cmd/benchjson, which also enforces the lazy-vs-eager
+# gate: on the shallow-witness families, the lazy path must materialize
+# at most half the states the eager oracle does.
+#
+#   scripts/bench.sh          full run: real benchtime, ns gate, writes
+#                             BENCH_pr4.json, and fails on ns/op
+#                             regression against the committed snapshot
+#   scripts/bench.sh -quick   smoke run (benchtime=1x): each benchmark
+#                             executes once and only the deterministic
+#                             states/op gate is enforced — this is what
+#                             scripts/check.sh runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+if [ "${1:-}" = "-quick" ]; then
+    MODE=quick
+fi
+
+SNAP=BENCH_pr4.json
+CURATED='^(BenchmarkLazy|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+if [ "$MODE" = "quick" ]; then
+    echo "== bench smoke (benchtime=1x, states gate only) =="
+    go test -run '^$' -bench "$CURATED" -benchtime 1x -benchmem . > "$tmp/bench.txt"
+    # 1x timings are noise: enforce only the deterministic states/op
+    # contract and write the snapshot to a scratch path.
+    go run ./cmd/benchjson -pr pr4-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
+    echo "bench smoke ok"
+    exit 0
+fi
+
+echo "== bench (full) =="
+go test -run '^$' -bench "$CURATED" -benchtime 50x -benchmem -count 3 . | tee "$tmp/bench.txt"
+
+args=(-pr pr4 -i "$tmp/bench.txt" -o "$tmp/bench.json" -ns-gate)
+if [ -f "$SNAP" ]; then
+    # Gate against the committed snapshot before replacing it.
+    args+=(-compare "$SNAP" -tolerance 0.5)
+fi
+go run ./cmd/benchjson "${args[@]}"
+mv "$tmp/bench.json" "$SNAP"
+echo "wrote $SNAP"
