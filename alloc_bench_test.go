@@ -1,0 +1,62 @@
+package temporal_test
+
+// Allocation benchmarks for the product/containment hot path. The
+// unified graph kernel (internal/autkern) interns product states through
+// packed uint64 pair keys instead of struct-keyed maps and shares cached
+// reachability/SCC analyses across derived automata, so these paths
+// should allocate markedly less than a naive per-call construction.
+// scripts/bench.sh runs them with -benchmem and cmd/benchjson gates
+// allocs/op regressions against the previous snapshot.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/omega"
+)
+
+// BenchmarkAllocProduct: eager pairwise product of two counter automata
+// (13·17 reachable product states) — the pair-interner hot path.
+func BenchmarkAllocProduct(b *testing.B) {
+	x, y := gen.NestedCounters(lazyBenchAB, 13, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Intersect(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocContainment: a holds-verdict containment over the same
+// family — product construction plus emptiness (SCC) over the product,
+// exercising the kernel's cached analyses.
+func BenchmarkAllocContainment(b *testing.B) {
+	x, y := gen.NestedCounters(lazyBenchAB, 13, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := x.Contains(y)
+		if err != nil || !ok {
+			b.Fatalf("verdict %v err %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkAllocIntersectEmptiness: 3-way intersection emptiness on the
+// diagonal family — repeated SCC passes over one shared kernel, where
+// the cached SCC decomposition and reverse adjacency pay off.
+func BenchmarkAllocIntersectEmptiness(b *testing.B) {
+	autos := gen.EmptyIntersectionFamily(lazyBenchAB, 32, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod, err := omega.IntersectAll(autos...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !prod.IsEmpty() {
+			b.Fatal("intersection should be empty")
+		}
+	}
+}

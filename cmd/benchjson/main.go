@@ -13,10 +13,12 @@
 //
 // Two gates, both optional:
 //
-//   - -compare PREV [-tolerance T]: every benchmark present in both
-//     snapshots must not regress its ns/op by more than the tolerance
-//     fraction (default 0.25). New and removed benchmarks are reported
-//     but do not fail the gate.
+//   - -compare PREV [-tolerance T] [-allocs-tolerance A]: every
+//     benchmark present in both snapshots must not regress its ns/op by
+//     more than the tolerance fraction (default 0.25), nor its allocs/op
+//     by more than the allocs tolerance (default 0.25; negative
+//     disables). New and removed benchmarks are reported but do not fail
+//     the gate.
 //   - -lazy-gate FAMILIES (default "Shallow,Witness"): for every
 //     benchmark family X matching one of the comma-separated substrings
 //     and exposing both X/lazy and X/eager variants, the lazy variant
@@ -74,6 +76,8 @@ func run() error {
 	out := flag.String("o", "", "write the JSON snapshot here (default stdout)")
 	compare := flag.String("compare", "", "previous snapshot to gate ns/op regressions against")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs -compare")
+	allocsTolerance := flag.Float64("allocs-tolerance", 0.25,
+		"allowed fractional allocs/op regression vs -compare (negative disables)")
 	lazyGate := flag.String("lazy-gate", "Shallow,Witness",
 		"comma-separated family substrings whose lazy variant must materialize ≤ half the eager states (empty disables)")
 	nsGate := flag.Bool("ns-gate", false, "also require lazy ≤ eager ns/op on the gated families")
@@ -105,7 +109,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		failures = append(failures, gateRegression(prev, snap, *tolerance)...)
+		failures = append(failures, gateRegression(prev, snap, *tolerance, *allocsTolerance)...)
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -264,8 +268,11 @@ func gateLazy(snap *Snapshot, families []string, nsGate bool) []string {
 	return failures
 }
 
-// gateRegression compares ns/op against a previous snapshot.
-func gateRegression(prev, cur *Snapshot, tolerance float64) []string {
+// gateRegression compares ns/op (and, unless disabled, allocs/op)
+// against a previous snapshot. Allocation counts are near-deterministic,
+// so the allocs gate catches hot-path regressions that timing jitter
+// would hide.
+func gateRegression(prev, cur *Snapshot, tolerance, allocsTolerance float64) []string {
 	prevBy := map[string]Benchmark{}
 	for _, b := range prev.Benchmarks {
 		prevBy[b.Name] = b
@@ -273,14 +280,24 @@ func gateRegression(prev, cur *Snapshot, tolerance float64) []string {
 	var failures []string
 	for _, b := range cur.Benchmarks {
 		p, ok := prevBy[b.Name]
-		if !ok || p.NsPerOp <= 0 {
+		if !ok {
 			continue // new benchmark: nothing to compare
 		}
-		ratio := b.NsPerOp / p.NsPerOp
-		if ratio > 1+tolerance && !almostEqual(b.NsPerOp, p.NsPerOp) {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.0f ns/op vs %s's %.0f (%.2fx > allowed %.2fx)",
-				b.Name, b.NsPerOp, prev.PR, p.NsPerOp, ratio, 1+tolerance))
+		if p.NsPerOp > 0 {
+			ratio := b.NsPerOp / p.NsPerOp
+			if ratio > 1+tolerance && !almostEqual(b.NsPerOp, p.NsPerOp) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f ns/op vs %s's %.0f (%.2fx > allowed %.2fx)",
+					b.Name, b.NsPerOp, prev.PR, p.NsPerOp, ratio, 1+tolerance))
+			}
+		}
+		if allocsTolerance >= 0 && p.AllocsPerOp > 0 {
+			ratio := b.AllocsPerOp / p.AllocsPerOp
+			if ratio > 1+allocsTolerance && !almostEqual(b.AllocsPerOp, p.AllocsPerOp) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f allocs/op vs %s's %.1f (%.2fx > allowed %.2fx)",
+					b.Name, b.AllocsPerOp, prev.PR, p.AllocsPerOp, ratio, 1+allocsTolerance))
+			}
 		}
 	}
 	return failures

@@ -1,0 +1,36 @@
+package autkern
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bitset over state ids, the kernel's
+// allocation-lean replacement for map[int]bool membership sets.
+type BitSet []uint64
+
+// NewBitSet returns an empty bitset with capacity for n ids.
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Get reports whether id i is in the set.
+func (b BitSet) Get(i int) bool {
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set adds id i to the set.
+func (b BitSet) Set(i int) {
+	b[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear removes id i from the set.
+func (b BitSet) Clear(i int) {
+	b[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Count returns the number of ids in the set.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/budget"
 	"repro/internal/dfa"
 	"repro/internal/eval"
@@ -175,23 +176,28 @@ func pastToDFAOver(ctx context.Context, p ltl.Formula, alpha *alphabet.Alphabet,
 		return cur
 	}
 
-	key := func(v []bool) string {
-		b := make([]byte, (len(v)+7)/8)
+	keyBuf := make([]byte, 0, 16)
+	key := func(v []bool) []byte {
+		b := keyBuf[:0]
+		for i := 0; i < (len(v)+7)/8; i++ {
+			b = append(b, 0)
+		}
 		for i, x := range v {
 			if x {
 				b[i/8] |= 1 << (i % 8)
 			}
 		}
-		return string(b)
+		keyBuf = b
+		return b
 	}
 
 	// BFS over reachable truth vectors; state 0 is the initial (ε)
-	// pseudo-state.
+	// pseudo-state, kept out of the interner (vector ids are offset by 1).
 	type stateInfo struct {
 		vec []bool // nil for the initial state
 	}
 	states := []stateInfo{{vec: nil}}
-	index := map[string]int{}
+	index := autkern.NewKeyInterner()
 	var trans [][]int
 	var accept []bool
 	trans = append(trans, make([]int, k))
@@ -211,11 +217,9 @@ func pastToDFAOver(ctx context.Context, p ltl.Formula, alpha *alphabet.Alphabet,
 		}
 		for si := 0; si < k; si++ {
 			nv := step(states[qi].vec, si)
-			nk := key(nv)
-			ni, ok := index[nk]
-			if !ok {
-				ni = len(states)
-				index[nk] = ni
+			id, fresh := index.Intern(key(nv))
+			ni := id + 1
+			if fresh {
 				states = append(states, stateInfo{vec: nv})
 				trans = append(trans, make([]int, k))
 				accept = append(accept, nv[top])

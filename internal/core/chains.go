@@ -188,11 +188,14 @@ func obligationRank(a *omega.Automaton, reach []bool) int {
 	// DP over the DAG: best[ci][last] = max rej→acc alternations on a path
 	// starting at ci, where last ∈ {0: nothing pending, 1: a rejecting
 	// component has been seen since the last accepting one}.
-	memo := map[[2]int]int{}
+	memo := make([]int, 2*len(comps)) // flat [ci][pendingRej] table, -1 = unset
+	for i := range memo {
+		memo[i] = -1
+	}
 	var dp func(ci, pendingRej int) int
 	dp = func(ci, pendingRej int) int {
-		key := [2]int{ci, pendingRej}
-		if v, ok := memo[key]; ok {
+		key := 2*ci + pendingRej
+		if v := memo[key]; v >= 0 {
 			return v
 		}
 		memo[key] = 0 // break cycles defensively (the condensation is acyclic)

@@ -15,15 +15,19 @@ import (
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/word"
 )
 
 // DFA is a complete deterministic finite automaton. States are integers
-// 0..n-1; every state has exactly one successor per symbol.
+// 0..n-1; every state has exactly one successor per symbol. The
+// transition structure lives in an autkern.Kernel shared with the rest
+// of the repository's automaton machinery; the kernel also caches the
+// DFA's graph analyses (reachability, reverse adjacency), which never
+// need invalidation because DFAs are immutable after construction.
 type DFA struct {
 	alpha  *alphabet.Alphabet
-	trans  [][]int // trans[state][symbolIndex]
-	start  int
+	kern   *autkern.Kernel
 	accept []bool
 }
 
@@ -51,11 +55,12 @@ func New(alpha *alphabet.Alphabet, trans [][]int, start int, accept []bool) (*DF
 			}
 		}
 	}
-	d := &DFA{alpha: alpha, trans: make([][]int, n), start: start, accept: make([]bool, n)}
+	rows := make([][]int, n)
 	for q := range trans {
-		d.trans[q] = make([]int, k)
-		copy(d.trans[q], trans[q])
+		rows[q] = make([]int, k)
+		copy(rows[q], trans[q])
 	}
+	d := &DFA{alpha: alpha, kern: autkern.New(rows, k, start), accept: make([]bool, n)}
 	copy(d.accept, accept)
 	return d, nil
 }
@@ -73,10 +78,13 @@ func MustNew(alpha *alphabet.Alphabet, trans [][]int, start int, accept []bool) 
 func (d *DFA) Alphabet() *alphabet.Alphabet { return d.alpha }
 
 // NumStates returns the number of states.
-func (d *DFA) NumStates() int { return len(d.trans) }
+func (d *DFA) NumStates() int { return d.kern.NumStates() }
 
 // Start returns the initial state.
-func (d *DFA) Start() int { return d.start }
+func (d *DFA) Start() int { return d.kern.Start() }
+
+// Kernel returns the DFA's graph kernel (shared, immutable).
+func (d *DFA) Kernel() *autkern.Kernel { return d.kern }
 
 // Accepting reports whether state q is accepting.
 func (d *DFA) Accepting(q int) bool { return d.accept[q] }
@@ -87,15 +95,15 @@ func (d *DFA) Step(q int, s alphabet.Symbol) int {
 	if i < 0 {
 		return -1
 	}
-	return d.trans[q][i]
+	return d.kern.Step(q, i)
 }
 
 // StepIndex returns δ(q, symbol #i).
-func (d *DFA) StepIndex(q, i int) int { return d.trans[q][i] }
+func (d *DFA) StepIndex(q, i int) int { return d.kern.Step(q, i) }
 
 // Run returns δ(start, w), or an error if w contains a foreign symbol.
 func (d *DFA) Run(w word.Finite) (int, error) {
-	q := d.start
+	q := d.kern.Start()
 	for _, s := range w {
 		q = d.Step(q, s)
 		if q < 0 {
@@ -121,36 +129,26 @@ func (d *DFA) AcceptsString(s string) bool {
 
 // AcceptsEpsilon reports whether the start state is accepting. The paper's
 // finitary properties live in Σ⁺; package lang normalizes ε away.
-func (d *DFA) AcceptsEpsilon() bool { return d.accept[d.start] }
+func (d *DFA) AcceptsEpsilon() bool { return d.accept[d.kern.Start()] }
 
-// Clone returns a deep copy.
+// Clone returns a copy sharing the immutable kernel (rows and cached
+// analyses); only the accept vector is duplicated, since Complement and
+// Prefixes rewrite it in place on their copy.
 func (d *DFA) Clone() *DFA {
-	return MustNew(d.alpha, d.trans, d.start, d.accept)
+	return &DFA{alpha: d.alpha, kern: d.kern, accept: append([]bool(nil), d.accept...)}
 }
 
 // Reachable returns the set of states reachable from start, as a boolean
-// vector.
+// vector. Served from the kernel's cache; the returned slice is a copy
+// the caller owns.
 func (d *DFA) Reachable() []bool {
-	seen := make([]bool, len(d.trans))
-	stack := []int{d.start}
-	seen[d.start] = true
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, next := range d.trans[q] {
-			if !seen[next] {
-				seen[next] = true
-				stack = append(stack, next)
-			}
-		}
-	}
-	return seen
+	return append([]bool(nil), d.kern.Reachable()...)
 }
 
 // Trim returns an equivalent DFA containing only reachable states.
 func (d *DFA) Trim() *DFA {
-	seen := d.Reachable()
-	remap := make([]int, len(d.trans))
+	seen := d.kern.Reachable()
+	remap := make([]int, d.kern.NumStates())
 	n := 0
 	for q, ok := range seen {
 		if ok {
@@ -167,40 +165,21 @@ func (d *DFA) Trim() *DFA {
 			continue
 		}
 		row := make([]int, d.alpha.Size())
-		for i, next := range d.trans[q] {
+		for i, next := range d.kern.Row(q) {
 			row[i] = remap[next]
 		}
 		trans[remap[q]] = row
 		accept[remap[q]] = d.accept[q]
 	}
-	return MustNew(d.alpha, trans, remap[d.start], accept)
+	return MustNew(d.alpha, trans, remap[d.kern.Start()], accept)
 }
 
 // IsEmpty reports whether L(D) ∩ Σ⁺ is empty: no accepting state is
 // reachable by a non-empty word.
 func (d *DFA) IsEmpty() bool {
-	// States reachable by at least one symbol.
-	seen := make([]bool, len(d.trans))
-	var stack []int
-	for _, next := range d.trans[d.start] {
-		if !seen[next] {
-			seen[next] = true
-			stack = append(stack, next)
-		}
-	}
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if d.accept[q] {
-			return false
-		}
-		for _, next := range d.trans[q] {
-			if !seen[next] {
-				seen[next] = true
-				stack = append(stack, next)
-			}
-		}
-	}
+	// States reachable by at least one symbol: the closure of the start
+	// state's successor row.
+	seen := d.kern.ReachableFromSet(d.kern.Row(d.kern.Start()))
 	for q, ok := range seen {
 		if ok && d.accept[q] {
 			return false
@@ -220,9 +199,9 @@ func (d *DFA) ShortestAccepted() word.Finite {
 		via   int // symbol index used to reach this node
 		prev  *node
 	}
-	visited := make([]bool, len(d.trans))
+	visited := make([]bool, d.kern.NumStates())
 	var queue []*node
-	for i, next := range d.trans[d.start] {
+	for i, next := range d.kern.Row(d.kern.Start()) {
 		n := &node{state: next, via: i}
 		if d.accept[next] {
 			return word.Finite{d.alpha.Symbol(i)}
@@ -235,7 +214,7 @@ func (d *DFA) ShortestAccepted() word.Finite {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for i, next := range d.trans[cur.state] {
+		for i, next := range d.kern.Row(cur.state) {
 			if visited[next] {
 				continue
 			}
@@ -267,13 +246,13 @@ func (d *DFA) Enumerate(maxLen int) []word.Finite {
 		state int
 		w     word.Finite
 	}
-	frontier := []item{{state: d.start}}
+	frontier := []item{{state: d.kern.Start()}}
 	for l := 1; l <= maxLen; l++ {
 		next := make([]item, 0, len(frontier)*k)
 		for _, it := range frontier {
 			for i := 0; i < k; i++ {
 				nw := append(append(word.Finite{}, it.w...), d.alpha.Symbol(i))
-				ns := d.trans[it.state][i]
+				ns := d.kern.Step(it.state, i)
 				if d.accept[ns] {
 					out = append(out, nw)
 				}

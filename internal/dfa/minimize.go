@@ -28,10 +28,10 @@ func (d *DFA) Minimize() *DFA {
 // minimizing a huge automaton under a step cap aborts with
 // budget.ErrBudgetExceeded.
 func (d *DFA) MinimizeCtx(ctx context.Context) (*DFA, error) {
-	sp := obs.Start("dfa.minimize").Int("in_states", len(d.trans))
+	sp := obs.Start("dfa.minimize").Int("in_states", d.NumStates())
 	defer sp.End()
 	t := d.Trim()
-	n := len(t.trans)
+	n := t.NumStates()
 	k := t.alpha.Size()
 
 	// Reverse transition lists: rev[s][q] = predecessors of q on symbol s.
@@ -41,7 +41,7 @@ func (d *DFA) MinimizeCtx(ctx context.Context) (*DFA, error) {
 	}
 	for q := 0; q < n; q++ {
 		for s := 0; s < k; s++ {
-			next := t.trans[q][s]
+			next := t.kern.Step(q, s)
 			rev[s][next] = append(rev[s][next], q)
 		}
 	}
@@ -155,12 +155,12 @@ func (d *DFA) MinimizeCtx(ctx context.Context) (*DFA, error) {
 		q := members[0]
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			row[s] = block[t.trans[q][s]]
+			row[s] = block[t.kern.Step(q, s)]
 		}
 		rawTrans[b] = row
 		rawAccept[b] = t.accept[q]
 	}
-	startBlock := block[t.start]
+	startBlock := block[t.kern.Start()]
 
 	order := make([]int, 0, m)
 	pos := make([]int, m)

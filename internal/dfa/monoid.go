@@ -53,15 +53,15 @@ func (m *Monoid) Witness(i int) string { return m.words[i] }
 // composition. It fails with ErrMonoidTooLarge if more than cap elements
 // are generated; cap ≤ 0 means no cap.
 func (d *DFA) TransitionMonoid(capSize int) (*Monoid, error) {
-	sp := obs.Start("dfa.monoid").Int("states", len(d.trans))
+	sp := obs.Start("dfa.monoid").Int("states", d.NumStates())
 	defer sp.End()
-	n := len(d.trans)
+	n := d.NumStates()
 	k := d.alpha.Size()
 	gens := make([]Transformation, k)
 	for s := 0; s < k; s++ {
 		f := make(Transformation, n)
 		for q := 0; q < n; q++ {
-			f[q] = d.trans[q][s]
+			f[q] = d.kern.Step(q, s)
 		}
 		gens[s] = f
 	}

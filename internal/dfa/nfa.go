@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/budget"
 	"repro/internal/fault"
 	"repro/internal/word"
@@ -121,12 +122,11 @@ func (n *NFA) Accepts(w word.Finite) bool {
 	return false
 }
 
-func setKey(states []int) string {
-	b := make([]byte, 0, len(states)*3)
+func appendSetKey(b []byte, states []int) []byte {
 	for _, q := range states {
 		b = append(b, byte(q), byte(q>>8), byte(q>>16))
 	}
-	return string(b)
+	return b
 }
 
 // Determinize performs the subset construction, yielding an equivalent
@@ -148,16 +148,15 @@ func (n *NFA) Determinize() *DFA {
 // instead of exhausting memory.
 func (n *NFA) DeterminizeCtx(ctx context.Context) (*DFA, error) {
 	k := n.Alpha.Size()
-	index := map[string]int{}
+	index := autkern.NewKeyInterner()
 	var sets [][]int
+	var keyBuf []byte
 	get := func(set []int) int {
-		key := setKey(set)
-		if i, ok := index[key]; ok {
-			return i
+		keyBuf = appendSetKey(keyBuf[:0], set)
+		i, fresh := index.Intern(keyBuf)
+		if fresh {
+			sets = append(sets, set)
 		}
-		i := len(sets)
-		index[key] = i
-		sets = append(sets, set)
 		return i
 	}
 	get(n.EpsClosure(n.Start))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/autkern"
 	"repro/internal/budget"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -58,26 +59,14 @@ func (d *DFA) ProductCtx(ctx context.Context, e *DFA, op BoolOp) (*DFA, error) {
 	if !d.alpha.Equal(e.alpha) {
 		return nil, fmt.Errorf("dfa: product over different alphabets %v and %v", d.alpha, e.alpha)
 	}
-	sp := obs.Start("dfa.product").Int("left_states", len(d.trans)).Int("right_states", len(e.trans))
+	sp := obs.Start("dfa.product").Int("left_states", d.NumStates()).Int("right_states", e.NumStates())
 	defer sp.End()
 	k := d.alpha.Size()
-	type pair struct{ a, b int }
-	index := map[pair]int{}
-	var order []pair
-	get := func(p pair) int {
-		if i, ok := index[p]; ok {
-			return i
-		}
-		i := len(order)
-		index[p] = i
-		order = append(order, p)
-		return i
-	}
-	startPair := pair{d.start, e.start}
-	get(startPair)
+	in := autkern.NewPairInterner()
+	in.Intern(d.kern.Start(), e.kern.Start())
 	var trans [][]int
 	var accept []bool
-	for i := 0; i < len(order); i++ {
+	for i := 0; i < in.Len(); i++ {
 		if err := fault.Hit(fault.SiteDFAProduct); err != nil {
 			return nil, err
 		}
@@ -87,16 +76,16 @@ func (d *DFA) ProductCtx(ctx context.Context, e *DFA, op BoolOp) (*DFA, error) {
 		if err := budget.ChargeStates(ctx, 1); err != nil {
 			return nil, err
 		}
-		p := order[i]
+		a, b := in.Pair(i)
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			row[s] = get(pair{d.trans[p.a][s], e.trans[p.b][s]})
+			row[s] = in.Intern(d.kern.Step(a, s), e.kern.Step(b, s))
 		}
 		trans = append(trans, row)
-		accept = append(accept, op.apply(d.accept[p.a], e.accept[p.b]))
+		accept = append(accept, op.apply(d.accept[a], e.accept[b]))
 	}
-	sp.Int("states", len(order))
-	cntProductStates.Add(int64(len(order)))
+	sp.Int("states", in.Len())
+	cntProductStates.Add(int64(in.Len()))
 	return New(d.alpha, trans, 0, accept)
 }
 
@@ -134,7 +123,7 @@ func (d *DFA) Equal(e *DFA) (bool, error) {
 func (d *DFA) PrefixClosedSubset() *DFA {
 	// Redirect every transition into a non-accepting state to a dead sink:
 	// once any prefix leaves L(d), the word and all extensions are out.
-	n := len(d.trans)
+	n := d.NumStates()
 	k := d.alpha.Size()
 	sink := n
 	trans := make([][]int, n+1)
@@ -142,7 +131,7 @@ func (d *DFA) PrefixClosedSubset() *DFA {
 	for q := 0; q < n; q++ {
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			next := d.trans[q][s]
+			next := d.kern.Step(q, s)
 			if d.accept[next] {
 				row[s] = next
 			} else {
@@ -157,14 +146,14 @@ func (d *DFA) PrefixClosedSubset() *DFA {
 		sinkRow[s] = sink
 	}
 	trans[sink] = sinkRow
-	return MustNew(d.alpha, trans, d.start, accept).Trim()
+	return MustNew(d.alpha, trans, d.kern.Start(), accept).Trim()
 }
 
 // ExtensionClosure returns a DFA for E_f(Φ) = Φ·Σ*: the words having some
 // non-empty prefix in L(d).
 func (d *DFA) ExtensionClosure() *DFA {
 	// Once an accepting state is reached, lock into an all-accepting sink.
-	n := len(d.trans)
+	n := d.NumStates()
 	k := d.alpha.Size()
 	top := n
 	trans := make([][]int, n+1)
@@ -172,7 +161,7 @@ func (d *DFA) ExtensionClosure() *DFA {
 	for q := 0; q < n; q++ {
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			next := d.trans[q][s]
+			next := d.kern.Step(q, s)
 			if d.accept[next] {
 				row[s] = top
 			} else {
@@ -188,10 +177,10 @@ func (d *DFA) ExtensionClosure() *DFA {
 	}
 	trans[top] = topRow
 	accept[top] = true
-	out := MustNew(d.alpha, trans, d.start, accept)
-	if d.accept[d.start] {
+	out := MustNew(d.alpha, trans, d.kern.Start(), accept)
+	if d.accept[d.kern.Start()] {
 		// ε ∈ L(d) is ignored: finitary properties live in Σ⁺.
-		out.accept[out.start] = false
+		out.accept[out.kern.Start()] = false
 	}
 	return out.Trim()
 }
@@ -200,33 +189,9 @@ func (d *DFA) ExtensionClosure() *DFA {
 // reachable from it (possibly by the empty path, i.e. accepting states are
 // live).
 func (d *DFA) LiveStates() []bool {
-	n := len(d.trans)
-	// Reverse reachability from accepting states.
-	rev := make([][]int, n)
-	for q := range d.trans {
-		for _, next := range d.trans[q] {
-			rev[next] = append(rev[next], q)
-		}
-	}
-	live := make([]bool, n)
-	var stack []int
-	for q, acc := range d.accept {
-		if acc {
-			live[q] = true
-			stack = append(stack, q)
-		}
-	}
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range rev[q] {
-			if !live[p] {
-				live[p] = true
-				stack = append(stack, p)
-			}
-		}
-	}
-	return live
+	// Reverse reachability from accepting states, over the kernel's
+	// cached reverse adjacency.
+	return d.kern.BackwardClosure(d.accept)
 }
 
 // Prefixes returns a DFA for the language of non-empty prefixes of words in
@@ -247,7 +212,7 @@ func (d *DFA) PrefixFreeKernel() *DFA {
 	// L(d)", plus a dedicated initial state for the ε position (ε never
 	// sets the bit even if the start state is accepting). The bit updates
 	// before each step: nextSeen = seen ∨ accept(q).
-	n := len(d.trans)
+	n := d.NumStates()
 	k := d.alpha.Size()
 	initState := 2 * n
 	trans := make([][]int, 2*n+1)
@@ -261,7 +226,7 @@ func (d *DFA) PrefixFreeKernel() *DFA {
 				nextSeen = 1
 			}
 			for s := 0; s < k; s++ {
-				row[s] = d.trans[q][s] + n*nextSeen
+				row[s] = d.kern.Step(q, s) + n*nextSeen
 			}
 			trans[id] = row
 			accept[id] = d.accept[q] && seen == 0
@@ -269,7 +234,7 @@ func (d *DFA) PrefixFreeKernel() *DFA {
 	}
 	initRow := make([]int, k)
 	for s := 0; s < k; s++ {
-		initRow[s] = d.trans[d.start][s] // seen stays 0 out of ε
+		initRow[s] = d.kern.Step(d.kern.Start(), s) // seen stays 0 out of ε
 	}
 	trans[initState] = initRow
 	return MustNew(d.alpha, trans, initState, accept).Trim()
@@ -293,28 +258,18 @@ func (d *DFA) Minex(e *DFA) (*DFA, error) {
 		b      bool
 		isInit bool // the ε position, where Φ1-membership must not fire
 	}
-	index := map[st]int{}
-	var order []st
-	get := func(s st) int {
-		if i, ok := index[s]; ok {
-			return i
-		}
-		i := len(order)
-		index[s] = i
-		order = append(order, s)
-		return i
-	}
-	get(st{q1: d.start, q2: e.start, isInit: true})
+	in := autkern.NewInterner[st]()
+	in.Intern(st{q1: d.kern.Start(), q2: e.kern.Start(), isInit: true})
 	var trans [][]int
 	var accept []bool
-	for i := 0; i < len(order); i++ {
-		s := order[i]
+	for i := 0; i < in.Len(); i++ {
+		s := in.Key(i)
 		row := make([]int, k)
 		inPhi1 := d.accept[s.q1] && !s.isInit
 		inPhi2 := e.accept[s.q2] && !s.isInit
 		nb := inPhi1 || (s.b && !inPhi2)
 		for sym := 0; sym < k; sym++ {
-			row[sym] = get(st{q1: d.trans[s.q1][sym], q2: e.trans[s.q2][sym], b: nb})
+			row[sym] = in.Intern(st{q1: d.kern.Step(s.q1, sym), q2: e.kern.Step(s.q2, sym), b: nb})
 		}
 		trans = append(trans, row)
 		accept = append(accept, inPhi2 && s.b)

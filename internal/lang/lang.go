@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/dfa"
 	"repro/internal/omega"
 	"repro/internal/regex"
@@ -300,21 +301,11 @@ func SimpleObligation(phi, psi *Property) (*omega.Automaton, error) {
 		qe int
 	}
 	top := -1 // marker for the absorbing accept state
-	index := map[st]int{}
-	var order []st
-	get := func(s st) int {
-		if i, ok := index[s]; ok {
-			return i
-		}
-		i := len(order)
-		index[s] = i
-		order = append(order, s)
-		return i
-	}
-	get(st{qa: dA.Start(), qe: dE.Start()})
+	in := autkern.NewInterner[st]()
+	in.Intern(st{qa: dA.Start(), qe: dE.Start()})
 	var trans [][]int
-	for i := 0; i < len(order); i++ {
-		s := order[i]
+	for i := 0; i < in.Len(); i++ {
+		s := in.Key(i)
 		row := make([]int, k)
 		if s.qa == top {
 			// absorbing accept
@@ -327,7 +318,7 @@ func SimpleObligation(phi, psi *Property) (*omega.Automaton, error) {
 		for sym := 0; sym < k; sym++ {
 			nextE := dE.StepIndex(s.qe, sym)
 			if dE.Accepting(nextE) {
-				row[sym] = get(st{qa: top, qe: -1})
+				row[sym] = in.Intern(st{qa: top, qe: -1})
 				continue
 			}
 			nextA := s.qa
@@ -339,13 +330,14 @@ func SimpleObligation(phi, psi *Property) (*omega.Automaton, error) {
 					nextA = nA
 				}
 			}
-			row[sym] = get(st{qa: nextA, qe: nextE})
+			row[sym] = in.Intern(st{qa: nextA, qe: nextE})
 		}
 		trans = append(trans, row)
 	}
-	n := len(order)
+	n := in.Len()
 	pair := omega.Pair{R: make([]bool, n), P: make([]bool, n)}
-	for i, s := range order {
+	for i := 0; i < n; i++ {
+		s := in.Key(i)
 		if s.qa == top {
 			pair.R[i] = true
 			pair.P[i] = true
@@ -365,33 +357,23 @@ func SimpleReactivity(phi, psi *Property) (*omega.Automaton, error) {
 	}
 	d1, d2 := phi.d, psi.d
 	k := d1.Alphabet().Size()
-	type pr struct{ x, y int }
-	index := map[pr]int{}
-	var order []pr
-	get := func(p pr) int {
-		if i, ok := index[p]; ok {
-			return i
-		}
-		i := len(order)
-		index[p] = i
-		order = append(order, p)
-		return i
-	}
-	get(pr{d1.Start(), d2.Start()})
+	in := autkern.NewPairInterner()
+	in.Intern(d1.Start(), d2.Start())
 	var trans [][]int
-	for i := 0; i < len(order); i++ {
-		p := order[i]
+	for i := 0; i < in.Len(); i++ {
+		x, y := in.Pair(i)
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			row[s] = get(pr{d1.StepIndex(p.x, s), d2.StepIndex(p.y, s)})
+			row[s] = in.Intern(d1.StepIndex(x, s), d2.StepIndex(y, s))
 		}
 		trans = append(trans, row)
 	}
-	n := len(order)
+	n := in.Len()
 	pair := omega.Pair{R: make([]bool, n), P: make([]bool, n)}
-	for i, p := range order {
-		pair.R[i] = d1.Accepting(p.x)
-		pair.P[i] = d2.Accepting(p.y)
+	for i := 0; i < n; i++ {
+		x, y := in.Pair(i)
+		pair.R[i] = d1.Accepting(x)
+		pair.P[i] = d2.Accepting(y)
 	}
 	return omega.New(d1.Alphabet(), trans, 0, []omega.Pair{pair})
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/core"
 	"repro/internal/ltl"
 	"repro/internal/obs"
@@ -154,20 +155,22 @@ type product struct {
 	sys    *ts.System
 	aut    *omega.Automaton
 	props  []string
-	nodes  []prodNode
-	index  map[prodNode]int
+	in     *autkern.PairInterner // node i ↔ (system state, automaton state)
 	edges  [][]prodEdge
 	closed int // nodes 0..closed-1 have materialized edges
 	inits  []int
 	autSym []alphabet.Symbol // per system state, its input symbol
 }
 
-type prodNode struct{ s, q int }
+// node returns the (system state, automaton state) of product node i.
+func (p *product) node(i int) (s, q int) { return p.in.Pair(i) }
+
+func (p *product) numNodes() int { return p.in.Len() }
 
 func newProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product, error) {
 	sp := obs.Start("mc.product").Int("sys_states", sys.NumStates()).Int("aut_states", aut.NumStates())
 	defer sp.End()
-	p := &product{sys: sys, aut: aut, props: props, index: map[prodNode]int{}}
+	p := &product{sys: sys, aut: aut, props: props, in: autkern.NewPairInterner()}
 	p.autSym = make([]alphabet.Symbol, sys.NumStates())
 	for s := 0; s < sys.NumStates(); s++ {
 		p.autSym[s] = sys.Symbol(s, props)
@@ -177,21 +180,18 @@ func newProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product,
 	}
 	for _, s0 := range sys.Init() {
 		q0 := aut.Step(aut.Start(), p.autSym[s0])
-		p.inits = append(p.inits, p.get(prodNode{s0, q0}))
+		p.inits = append(p.inits, p.get(s0, q0))
 	}
 	return p, nil
 }
 
 // get interns a product node, returning its index; new nodes join the
 // frontier with no edges.
-func (p *product) get(n prodNode) int {
-	if i, ok := p.index[n]; ok {
-		return i
+func (p *product) get(s, q int) int {
+	i := p.in.Intern(s, q)
+	if i == len(p.edges) {
+		p.edges = append(p.edges, nil)
 	}
-	i := len(p.nodes)
-	p.index[n] = i
-	p.nodes = append(p.nodes, n)
-	p.edges = append(p.edges, nil)
 	return i
 }
 
@@ -200,13 +200,13 @@ func (p *product) get(n prodNode) int {
 // nodes are.
 func (p *product) explore(limit int) bool {
 	before := p.closed
-	for p.closed < len(p.nodes) && p.closed < limit {
+	for p.closed < p.numNodes() && p.closed < limit {
 		i := p.closed
-		n := p.nodes[i]
+		ns, nq := p.node(i)
 		for ti, tr := range p.sys.Transitions() {
-			for _, s2 := range tr.Successors(n.s) {
-				q2 := p.aut.Step(n.q, p.autSym[s2])
-				j := p.get(prodNode{s2, q2})
+			for _, s2 := range tr.Successors(ns) {
+				q2 := p.aut.Step(nq, p.autSym[s2])
+				j := p.get(s2, q2)
 				p.edges[i] = append(p.edges[i], prodEdge{to: j, trans: ti})
 			}
 		}
@@ -215,7 +215,7 @@ func (p *product) explore(limit int) bool {
 	if d := p.closed - before; d > 0 {
 		cntLazyNodes.Add(int64(d))
 	}
-	return p.closed == len(p.nodes)
+	return p.closed == p.numNodes()
 }
 
 // searchFairAccepting looks for a fair computation of sys accepted by the
@@ -235,7 +235,7 @@ func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (
 	for limit := mcFirstWave; ; limit *= 2 {
 		done := p.explore(limit)
 		waves++
-		allowed := make([]bool, len(p.nodes))
+		allowed := make([]bool, p.numNodes())
 		for i := 0; i < p.closed; i++ {
 			allowed[i] = true
 		}
@@ -263,8 +263,10 @@ func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (
 // either enabled nowhere in C or taken inside C. It returns the set and
 // the transition indices whose edges the witness loop must include.
 func (p *product) findFairAcceptingSCC(allowed []bool) ([]int, []int) {
-	for _, comp := range p.sccs(allowed) {
-		if !p.cyclic(comp) {
+	deg := func(q int) int { return len(p.edges[q]) }
+	edge := func(q, i int) int { return p.edges[q][i].to }
+	for _, comp := range autkern.SCCsFunc(p.numNodes(), deg, edge, allowed) {
+		if !autkern.CyclicFunc(p.numNodes(), comp, deg, edge) {
 			continue
 		}
 		if set, need := p.refine(comp); set != nil {
@@ -281,11 +283,11 @@ func (p *product) refine(comp []int) ([]int, []int) {
 	defer sp.End()
 	cntRefineRounds.Inc()
 	histRefineSizes.Observe(int64(len(comp)))
-	inComp := make(map[int]bool, len(comp))
+	inComp := make([]bool, p.numNodes())
 	for _, n := range comp {
 		inComp[n] = true
 	}
-	takenInside := map[int]bool{} // transition index → has edge inside comp
+	takenInside := make([]bool, len(p.sys.Transitions()))
 	for _, n := range comp {
 		for _, e := range p.edges[n] {
 			if inComp[e.to] {
@@ -294,7 +296,7 @@ func (p *product) refine(comp []int) ([]int, []int) {
 		}
 	}
 
-	restrict := make([]bool, len(p.nodes))
+	restrict := make([]bool, p.numNodes())
 	for _, n := range comp {
 		restrict[n] = true
 	}
@@ -306,7 +308,7 @@ func (p *product) refine(comp []int) ([]int, []int) {
 		r, pr := p.aut.PairVectors(i)
 		meetsR, inP := false, true
 		for _, n := range comp {
-			q := p.nodes[n].q
+			_, q := p.node(n)
 			if r[q] {
 				meetsR = true
 			}
@@ -316,7 +318,7 @@ func (p *product) refine(comp []int) ([]int, []int) {
 		}
 		if !meetsR && !inP {
 			for _, n := range comp {
-				if !pr[p.nodes[n].q] {
+				if _, q := p.node(n); !pr[q] {
 					restrict[n] = false
 					narrowed = true
 				}
@@ -331,7 +333,7 @@ func (p *product) refine(comp []int) ([]int, []int) {
 		}
 		enabledSomewhere, enabledEverywhere := false, true
 		for _, n := range comp {
-			if tr.Enabled(p.nodes[n].s) {
+			if s, _ := p.node(n); tr.Enabled(s) {
 				enabledSomewhere = true
 			} else {
 				enabledEverywhere = false
@@ -348,7 +350,7 @@ func (p *product) refine(comp []int) ([]int, []int) {
 			if enabledSomewhere {
 				// Restrict to nodes where the transition is disabled.
 				for _, n := range comp {
-					if tr.Enabled(p.nodes[n].s) {
+					if s, _ := p.node(n); tr.Enabled(s) {
 						restrict[n] = false
 						narrowed = true
 					}
@@ -366,7 +368,7 @@ func (p *product) refine(comp []int) ([]int, []int) {
 			}
 			enabled := false
 			for _, n := range comp {
-				if tr.Enabled(p.nodes[n].s) {
+				if s, _ := p.node(n); tr.Enabled(s) {
 					enabled = true
 					break
 				}
@@ -389,96 +391,11 @@ func (p *product) refine(comp []int) ([]int, []int) {
 	return p.findFairAcceptingSCC(restrict)
 }
 
-// sccs computes strongly connected components of the product restricted
-// to allowed nodes (iterative Tarjan).
-func (p *product) sccs(allowed []bool) [][]int {
-	n := len(p.nodes)
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
-	}
-	var stack []int
-	var comps [][]int
-	counter := 0
-	type frame struct{ node, edge int }
-	for root := 0; root < n; root++ {
-		if !allowed[root] || index[root] >= 0 {
-			continue
-		}
-		var call []frame
-		index[root], low[root] = counter, counter
-		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-		call = append(call, frame{node: root})
-		for len(call) > 0 {
-			f := &call[len(call)-1]
-			q := f.node
-			if f.edge < len(p.edges[q]) {
-				to := p.edges[q][f.edge].to
-				f.edge++
-				if !allowed[to] {
-					continue
-				}
-				if index[to] < 0 {
-					index[to], low[to] = counter, counter
-					counter++
-					stack = append(stack, to)
-					onStack[to] = true
-					call = append(call, frame{node: to})
-				} else if onStack[to] && index[to] < low[q] {
-					low[q] = index[to]
-				}
-				continue
-			}
-			call = call[:len(call)-1]
-			if len(call) > 0 {
-				parent := call[len(call)-1].node
-				if low[q] < low[parent] {
-					low[parent] = low[q]
-				}
-			}
-			if low[q] == index[q] {
-				var comp []int
-				for {
-					m := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[m] = false
-					comp = append(comp, m)
-					if m == q {
-						break
-					}
-				}
-				sort.Ints(comp)
-				comps = append(comps, comp)
-			}
-		}
-	}
-	return comps
-}
-
-func (p *product) cyclic(comp []int) bool {
-	in := make(map[int]bool, len(comp))
-	for _, n := range comp {
-		in[n] = true
-	}
-	for _, n := range comp {
-		for _, e := range p.edges[n] {
-			if in[e.to] {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // extractTrace builds a lasso of system states: a path from an initial
 // node to the component, then a loop covering every node of the component
 // and at least one edge of every needed transition.
 func (p *product) extractTrace(comp []int, needTrans []int) (Trace, bool) {
-	inComp := make(map[int]bool, len(comp))
+	inComp := make([]bool, p.numNodes())
 	for _, n := range comp {
 		inComp[n] = true
 	}
@@ -547,26 +464,29 @@ func (p *product) extractTrace(comp []int, needTrans []int) (Trace, bool) {
 	}
 	tr := Trace{}
 	for _, n := range prefixNodes {
-		tr.Prefix = append(tr.Prefix, p.nodes[n].s)
+		s, _ := p.node(n)
+		tr.Prefix = append(tr.Prefix, s)
 	}
 	for _, n := range loop {
-		tr.Loop = append(tr.Loop, p.nodes[n].s)
+		s, _ := p.node(n)
+		tr.Loop = append(tr.Loop, s)
 	}
 	return tr, true
 }
 
 // shortestPath returns a node path (inclusive of endpoints) from any of
 // the sources to the target, staying within `within` when non-nil.
-func (p *product) shortestPath(sources []int, target int, within map[int]bool) ([]int, bool) {
-	prev := map[int]int{}
-	seen := map[int]bool{}
+func (p *product) shortestPath(sources []int, target int, within []bool) ([]int, bool) {
+	prev := make([]int, p.numNodes())
+	for i := range prev {
+		prev[i] = -2 // unseen
+	}
 	var queue []int
 	for _, s := range sources {
 		if within != nil && !within[s] {
 			continue
 		}
-		if !seen[s] {
-			seen[s] = true
+		if prev[s] == -2 {
 			prev[s] = -1
 			queue = append(queue, s)
 		}
@@ -589,8 +509,7 @@ func (p *product) shortestPath(sources []int, target int, within map[int]bool) (
 			if within != nil && !within[e.to] {
 				continue
 			}
-			if !seen[e.to] {
-				seen[e.to] = true
+			if prev[e.to] == -2 {
 				prev[e.to] = n
 				queue = append(queue, e.to)
 			}

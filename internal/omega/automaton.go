@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/word"
 )
 
@@ -34,12 +36,19 @@ type Pair struct {
 }
 
 // Automaton is a complete deterministic Streett predicate automaton.
+// The transition structure lives in an autkern.Kernel, which also holds
+// the automaton's cached graph analyses (reachable set, reverse
+// adjacency, SCC decomposition); derived automata that only change the
+// acceptance list or the start state share the kernel and its caches.
+// Automata are immutable after construction (SetLabels replaces the
+// diagnostic labels only), so the caches never need invalidation.
 type Automaton struct {
 	alpha  *alphabet.Alphabet
-	trans  [][]int
-	start  int
+	kern   *autkern.Kernel
 	pairs  []Pair
 	labels []string // optional human-readable state labels
+
+	skey atomic.Pointer[string] // cached StructuralKey
 }
 
 // New builds and validates an automaton. Every pair's vectors must cover
@@ -71,14 +80,44 @@ func New(alpha *alphabet.Alphabet, trans [][]int, start int, pairs []Pair) (*Aut
 			return nil, fmt.Errorf("omega: pair %d vectors don't cover %d states", i, n)
 		}
 	}
-	a := &Automaton{alpha: alpha, trans: make([][]int, n), start: start, pairs: make([]Pair, len(pairs))}
+	rows := make([][]int, n)
 	for q := range trans {
-		a.trans[q] = append([]int(nil), trans[q]...)
+		rows[q] = append([]int(nil), trans[q]...)
 	}
+	a := &Automaton{alpha: alpha, kern: autkern.New(rows, k, start), pairs: make([]Pair, len(pairs))}
 	for i, p := range pairs {
 		a.pairs[i] = Pair{R: append([]bool(nil), p.R...), P: append([]bool(nil), p.P...)}
 	}
 	return a, nil
+}
+
+// withPairsShared returns an automaton over this automaton's kernel —
+// sharing its transition rows and cached analyses — under a different
+// acceptance list. Pairs are validated and deep-copied; labels carry
+// over.
+func (a *Automaton) withPairsShared(pairs []Pair) (*Automaton, error) {
+	n := a.kern.NumStates()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("omega: need at least one acceptance pair")
+	}
+	for i, p := range pairs {
+		if len(p.R) != n || len(p.P) != n {
+			return nil, fmt.Errorf("omega: pair %d vectors don't cover %d states", i, n)
+		}
+	}
+	out := &Automaton{alpha: a.alpha, kern: a.kern, pairs: make([]Pair, len(pairs))}
+	for i, p := range pairs {
+		out.pairs[i] = Pair{R: append([]bool(nil), p.R...), P: append([]bool(nil), p.P...)}
+	}
+	out.labels = append([]string(nil), a.labels...)
+	return out, nil
+}
+
+// sharedWithPairs is withPairsShared for internal search automata: the
+// caller owns the (correctly sized) pair vectors, so nothing is
+// validated or copied, and labels are dropped.
+func (a *Automaton) sharedWithPairs(pairs []Pair) *Automaton {
+	return &Automaton{alpha: a.alpha, kern: a.kern, pairs: pairs}
 }
 
 // MustNew is New but panics on error; for fixtures.
@@ -94,10 +133,13 @@ func MustNew(alpha *alphabet.Alphabet, trans [][]int, start int, pairs []Pair) *
 func (a *Automaton) Alphabet() *alphabet.Alphabet { return a.alpha }
 
 // NumStates returns the number of states.
-func (a *Automaton) NumStates() int { return len(a.trans) }
+func (a *Automaton) NumStates() int { return a.kern.NumStates() }
 
 // Start returns the initial state.
-func (a *Automaton) Start() int { return a.start }
+func (a *Automaton) Start() int { return a.kern.Start() }
+
+// Kernel returns the automaton's graph kernel (shared, immutable).
+func (a *Automaton) Kernel() *autkern.Kernel { return a.kern }
 
 // NumPairs returns the number of Streett pairs.
 func (a *Automaton) NumPairs() int { return len(a.pairs) }
@@ -130,16 +172,16 @@ func (a *Automaton) Step(q int, s alphabet.Symbol) int {
 	if i < 0 {
 		return -1
 	}
-	return a.trans[q][i]
+	return a.kern.Step(q, i)
 }
 
 // StepIndex returns δ(q, symbol #i).
-func (a *Automaton) StepIndex(q, i int) int { return a.trans[q][i] }
+func (a *Automaton) StepIndex(q, i int) int { return a.kern.Step(q, i) }
 
 // RunPrefix returns the state reached after reading the finite word, or an
 // error on foreign symbols.
 func (a *Automaton) RunPrefix(w word.Finite) (int, error) {
-	q := a.start
+	q := a.kern.Start()
 	for _, s := range w {
 		q = a.Step(q, s)
 		if q < 0 {
@@ -228,28 +270,17 @@ func (a *Automaton) AcceptsOrFalse(w word.Lasso) bool {
 	return err == nil && ok
 }
 
-// Reachable returns the set of states reachable from start.
+// Reachable returns the set of states reachable from start. The result
+// is served from the kernel's cache; the returned slice is a copy the
+// caller owns. Internal hot paths use a.kern.Reachable() directly.
 func (a *Automaton) Reachable() []bool {
-	seen := make([]bool, len(a.trans))
-	seen[a.start] = true
-	stack := []int{a.start}
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, next := range a.trans[q] {
-			if !seen[next] {
-				seen[next] = true
-				stack = append(stack, next)
-			}
-		}
-	}
-	return seen
+	return append([]bool(nil), a.kern.Reachable()...)
 }
 
 // Trim returns an equivalent automaton over only the reachable states.
 func (a *Automaton) Trim() *Automaton {
-	seen := a.Reachable()
-	remap := make([]int, len(a.trans))
+	seen := a.kern.Reachable()
+	remap := make([]int, a.kern.NumStates())
 	n := 0
 	for q, ok := range seen {
 		if ok {
@@ -270,7 +301,7 @@ func (a *Automaton) Trim() *Automaton {
 			continue
 		}
 		row := make([]int, a.alpha.Size())
-		for i, next := range a.trans[q] {
+		for i, next := range a.kern.Row(q) {
 			row[i] = remap[next]
 		}
 		trans[remap[q]] = row
@@ -282,7 +313,7 @@ func (a *Automaton) Trim() *Automaton {
 			labels[remap[q]] = a.labels[q]
 		}
 	}
-	out := MustNew(a.alpha, trans, remap[a.start], pairs)
+	out := MustNew(a.alpha, trans, remap[a.kern.Start()], pairs)
 	out.labels = labels
 	return out
 }
@@ -290,7 +321,7 @@ func (a *Automaton) Trim() *Automaton {
 // String renders a compact description of the automaton.
 func (a *Automaton) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Streett automaton: %d states, %d pairs, start %s\n", len(a.trans), len(a.pairs), a.Label(a.start))
+	fmt.Fprintf(&b, "Streett automaton: %d states, %d pairs, start %s\n", a.kern.NumStates(), len(a.pairs), a.Label(a.kern.Start()))
 	for i, p := range a.pairs {
 		fmt.Fprintf(&b, "  pair %d: R=%s P=%s\n", i, a.setString(p.R), a.setString(p.P))
 	}

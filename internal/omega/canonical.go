@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/autkern"
 	"repro/internal/budget"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -27,7 +28,7 @@ var ErrNotInClass = errors.New("omega: property not in the requested class")
 // non-accepting one only what survives the P-restriction of its broken
 // pairs.
 func (a *Automaton) markAcceptingCycleStates(allowed []bool) []bool {
-	out := make([]bool, len(a.trans))
+	out := make([]bool, a.NumStates())
 	var walk func(region []bool)
 	walk = func(region []bool) {
 		for _, comp := range a.SCCs(region) {
@@ -41,7 +42,7 @@ func (a *Automaton) markAcceptingCycleStates(allowed []bool) []bool {
 				}
 				continue
 			}
-			restricted := make([]bool, len(a.trans))
+			restricted := make([]bool, a.NumStates())
 			count := 0
 			for _, q := range comp {
 				keep := true
@@ -82,14 +83,14 @@ func (a *Automaton) CoDeadStates() []bool {
 // pairs: a run is accepted iff it enters the co-dead region.
 func (a *Automaton) Interior() *Automaton {
 	coDead := a.CoDeadStates()
-	n := len(a.trans)
+	n := a.NumStates()
 	k := a.alpha.Size()
 	top := n
 	trans := make([][]int, n+1)
 	for q := 0; q < n; q++ {
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			next := a.trans[q][s]
+			next := a.kern.Step(q, s)
 			if coDead[next] {
 				row[s] = top
 			} else {
@@ -106,8 +107,8 @@ func (a *Automaton) Interior() *Automaton {
 	pair := Pair{R: make([]bool, n+1), P: make([]bool, n+1)}
 	pair.R[top] = true
 	pair.P[top] = true
-	start := a.start
-	if coDead[a.start] {
+	start := a.kern.Start()
+	if coDead[start] {
 		start = top
 	}
 	out := MustNew(a.alpha, trans, start, []Pair{pair})
@@ -124,10 +125,10 @@ func (a *Automaton) ToSafetyAutomaton() (*Automaton, error) {
 // ToSafetyAutomatonCtx is ToSafetyAutomaton with cooperative cancellation
 // threaded into the verifying equivalence check.
 func (a *Automaton) ToSafetyAutomatonCtx(ctx context.Context) (*Automaton, error) {
-	sp := obs.Start("omega.canonical.safety").Int("in_states", len(a.trans))
+	sp := obs.Start("omega.canonical.safety").Int("in_states", a.NumStates())
 	defer sp.End()
 	candidate := a.SafetyClosure().Trim()
-	sp.Int("states", len(candidate.trans))
+	sp.Int("states", candidate.NumStates())
 	eq, ce, err := a.EquivalentCtx(ctx, candidate)
 	if err != nil {
 		return nil, err
@@ -149,10 +150,10 @@ func (a *Automaton) ToGuaranteeAutomaton() (*Automaton, error) {
 // ToGuaranteeAutomatonCtx is ToGuaranteeAutomaton with cooperative
 // cancellation threaded into the verifying equivalence check.
 func (a *Automaton) ToGuaranteeAutomatonCtx(ctx context.Context) (*Automaton, error) {
-	sp := obs.Start("omega.canonical.guarantee").Int("in_states", len(a.trans))
+	sp := obs.Start("omega.canonical.guarantee").Int("in_states", a.NumStates())
 	defer sp.End()
 	candidate := a.Interior()
-	sp.Int("states", len(candidate.trans))
+	sp.Int("states", candidate.NumStates())
 	eq, ce, err := a.EquivalentCtx(ctx, candidate)
 	if err != nil {
 		return nil, err
@@ -177,13 +178,9 @@ func (a *Automaton) ToRecurrenceAutomaton() (*Automaton, error) {
 // ToRecurrenceAutomatonCtx is ToRecurrenceAutomaton with cooperative
 // cancellation threaded into the verifying equivalence check.
 func (a *Automaton) ToRecurrenceAutomatonCtx(ctx context.Context) (*Automaton, error) {
-	sp := obs.Start("omega.canonical.recurrence").Int("in_states", len(a.trans)).Int("in_pairs", len(a.pairs))
+	sp := obs.Start("omega.canonical.recurrence").Int("in_states", a.NumStates()).Int("in_pairs", len(a.pairs))
 	defer sp.End()
-	n := len(a.trans)
-	all := make([]bool, n)
-	for i := range all {
-		all[i] = true
-	}
+	n := a.NumStates()
 	// Per pair: R_i' = R_i ∪ {states of accepting cycles avoiding R_i}.
 	buchiSets := make([][]bool, len(a.pairs))
 	for i, p := range a.pairs {
@@ -202,7 +199,7 @@ func (a *Automaton) ToRecurrenceAutomatonCtx(ctx context.Context) (*Automaton, e
 	if err != nil {
 		return nil, err
 	}
-	sp.Int("states", len(merged.trans))
+	sp.Int("states", merged.NumStates())
 	eq, ce, err := a.EquivalentCtx(ctx, merged)
 	if err != nil {
 		return nil, err
@@ -225,25 +222,12 @@ func (a *Automaton) mergeBuchi(ctx context.Context, sets [][]bool) (*Automaton, 
 	if m == 0 {
 		return Universal(a.alpha), nil
 	}
-	type st struct {
-		q    int
-		j    int
-		flag bool
-	}
-	index := map[st]int{}
-	var order []st
-	get := func(s st) int {
-		if i, ok := index[s]; ok {
-			return i
-		}
-		i := len(order)
-		index[s] = i
-		order = append(order, s)
-		return i
-	}
-	get(st{q: a.start})
+	// Counter-product states (q, j, flag) are interned as the pair
+	// (q, j<<1|flag), riding the kernel interner's uint64 fast path.
+	in := autkern.NewPairInterner()
+	in.Intern(a.kern.Start(), 0)
 	var trans [][]int
-	for i := 0; i < len(order); i++ {
+	for i := 0; i < in.Len(); i++ {
 		if err := fault.Hit(fault.SiteOmegaMerge); err != nil {
 			return nil, err
 		}
@@ -253,29 +237,31 @@ func (a *Automaton) mergeBuchi(ctx context.Context, sets [][]bool) (*Automaton, 
 		if err := budget.ChargeStates(ctx, 1); err != nil {
 			return nil, err
 		}
-		s := order[i]
+		q, packed := in.Pair(i)
+		j := packed >> 1
 		row := make([]int, kSyms)
 		for sym := 0; sym < kSyms; sym++ {
-			nq := a.trans[s.q][sym]
-			nj := s.j
-			flag := false
+			nq := a.kern.Step(q, sym)
+			nj := j
+			flag := 0
 			// Advance through every satisfied awaited set (possibly
 			// several in a row), flagging on wrap-around.
 			for steps := 0; steps < m && sets[nj][nq]; steps++ {
 				nj++
 				if nj == m {
 					nj = 0
-					flag = true
+					flag = 1
 				}
 			}
-			row[sym] = get(st{q: nq, j: nj, flag: flag})
+			row[sym] = in.Intern(nq, nj<<1|flag)
 		}
 		trans = append(trans, row)
 	}
-	nStates := len(order)
+	nStates := in.Len()
 	pair := Pair{R: make([]bool, nStates), P: make([]bool, nStates)}
-	for i, s := range order {
-		pair.R[i] = s.flag
+	for i := 0; i < nStates; i++ {
+		_, packed := in.Pair(i)
+		pair.R[i] = packed&1 != 0
 	}
 	return New(a.alpha, trans, 0, []Pair{pair})
 }
@@ -291,16 +277,16 @@ func (a *Automaton) ToPersistenceAutomaton() (*Automaton, error) {
 // ToPersistenceAutomatonCtx is ToPersistenceAutomaton with cooperative
 // cancellation threaded into the verifying equivalence check.
 func (a *Automaton) ToPersistenceAutomatonCtx(ctx context.Context) (*Automaton, error) {
-	sp := obs.Start("omega.canonical.persistence").Int("in_states", len(a.trans))
+	sp := obs.Start("omega.canonical.persistence").Int("in_states", a.NumStates())
 	defer sp.End()
-	n := len(a.trans)
+	n := a.NumStates()
 	all := make([]bool, n)
 	for i := range all {
 		all[i] = true
 	}
 	d := a.markAcceptingCycleStates(all)
 	pair := Pair{R: make([]bool, n), P: d}
-	candidate := MustNew(a.alpha, a.trans, a.start, []Pair{pair}).Trim()
+	candidate := a.sharedWithPairs([]Pair{pair}).Trim()
 	eq, ce, err := a.EquivalentCtx(ctx, candidate)
 	if err != nil {
 		return nil, err
@@ -316,11 +302,11 @@ func (a *Automaton) ToPersistenceAutomatonCtx(ctx context.Context) (*Automaton, 
 // transition leads from B to G.
 func (a *Automaton) IsSafetyAutomaton() bool {
 	g := a.goodStates()
-	for q := range a.trans {
+	for q := 0; q < a.NumStates(); q++ {
 		if g[q] {
 			continue
 		}
-		for _, next := range a.trans[q] {
+		for _, next := range a.kern.Row(q) {
 			if g[next] {
 				return false
 			}
@@ -332,11 +318,11 @@ func (a *Automaton) IsSafetyAutomaton() bool {
 // IsGuaranteeAutomaton reports the dual shape: no transition from G to B.
 func (a *Automaton) IsGuaranteeAutomaton() bool {
 	g := a.goodStates()
-	for q := range a.trans {
+	for q := 0; q < a.NumStates(); q++ {
 		if !g[q] {
 			continue
 		}
-		for _, next := range a.trans[q] {
+		for _, next := range a.kern.Row(q) {
 			if !g[next] {
 				return false
 			}
@@ -373,7 +359,7 @@ func (a *Automaton) IsPersistenceAutomaton() bool {
 
 // goodStates returns G = ⋂ᵢ (R_i ∪ P_i), the paper's "good" state set.
 func (a *Automaton) goodStates() []bool {
-	n := len(a.trans)
+	n := a.NumStates()
 	g := make([]bool, n)
 	for q := 0; q < n; q++ {
 		g[q] = true

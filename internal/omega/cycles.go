@@ -11,7 +11,7 @@ func (a *Automaton) AcceptingCycleWithin(allowed []bool) []int {
 // RejectingCycleWithin returns a cyclic set B ⊆ allowed with B ∉ F — i.e.
 // B ∩ R_i = ∅ and B ⊄ P_i for some pair i — or nil if none exists.
 func (a *Automaton) RejectingCycleWithin(allowed []bool) []int {
-	n := len(a.trans)
+	n := a.NumStates()
 	for _, p := range a.pairs {
 		restricted := make([]bool, n)
 		any := false
@@ -46,13 +46,8 @@ func (a *Automaton) RejectingCycleWithin(allowed []bool) []int {
 // language. Like dead states, the "co-dead" region (from which everything
 // is accepted) is transition-closed.
 func (a *Automaton) CoLiveStates() []bool {
-	n := len(a.trans)
-	coLive := make([]bool, n)
-	all := make([]bool, n)
-	for i := range all {
-		all[i] = true
-	}
-	for _, comp := range a.SCCs(all) {
+	coLive := make([]bool, a.NumStates())
+	for _, comp := range a.kern.SCCs(nil) {
 		if !a.IsCyclic(comp) {
 			continue
 		}
@@ -62,29 +57,7 @@ func (a *Automaton) CoLiveStates() []bool {
 			}
 		}
 	}
-	rev := make([][]int, n)
-	for q := range a.trans {
-		for _, next := range a.trans[q] {
-			rev[next] = append(rev[next], q)
-		}
-	}
-	var stack []int
-	for q, l := range coLive {
-		if l {
-			stack = append(stack, q)
-		}
-	}
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range rev[q] {
-			if !coLive[p] {
-				coLive[p] = true
-				stack = append(stack, p)
-			}
-		}
-	}
-	return coLive
+	return a.kern.BackwardClosure(coLive)
 }
 
 // BrokenPairs returns the indices of the Streett pairs violated by a run
@@ -118,13 +91,17 @@ func (a *Automaton) StateSet(set []int) []bool { return a.stateSet(set) }
 // Successors returns the successor states of q, one per alphabet symbol
 // (duplicates possible). The returned slice is a copy.
 func (a *Automaton) Successors(q int) []int {
-	return append([]int(nil), a.trans[q]...)
+	return append([]int(nil), a.kern.Row(q)...)
 }
 
-// WithStart returns a copy of the automaton with a different initial
-// state.
+// WithStart returns an automaton with a different initial state, sharing
+// this automaton's rows and start-independent cached analyses (reverse
+// adjacency, full SCC decomposition).
 func (a *Automaton) WithStart(q int) *Automaton {
-	out := MustNew(a.alpha, a.trans, q, a.pairs)
-	out.labels = append([]string(nil), a.labels...)
-	return out
+	return &Automaton{
+		alpha:  a.alpha,
+		kern:   a.kern.WithStart(q),
+		pairs:  a.pairs,
+		labels: append([]string(nil), a.labels...),
+	}
 }

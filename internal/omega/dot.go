@@ -14,8 +14,8 @@ func (a *Automaton) Dot(name string) string {
 	fmt.Fprintf(&b, "digraph %q {\n", name)
 	b.WriteString("  rankdir=LR;\n")
 	b.WriteString("  node [shape=circle];\n")
-	fmt.Fprintf(&b, "  init [shape=point];\n  init -> q%d;\n", a.start)
-	for q := range a.trans {
+	fmt.Fprintf(&b, "  init [shape=point];\n  init -> q%d;\n", a.Start())
+	for q := 0; q < a.NumStates(); q++ {
 		var marks []string
 		for i, p := range a.pairs {
 			if p.R[q] {
@@ -35,9 +35,9 @@ func (a *Automaton) Dot(name string) string {
 		}
 		fmt.Fprintf(&b, "  q%d [label=%q, shape=%s];\n", q, label, shape)
 	}
-	for q := range a.trans {
+	for q := 0; q < a.NumStates(); q++ {
 		bySucc := map[int][]string{}
-		for si, to := range a.trans[q] {
+		for si, to := range a.kern.Row(q) {
 			bySucc[to] = append(bySucc[to], string(a.alpha.Symbol(si)))
 		}
 		var succs []int

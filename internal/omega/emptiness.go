@@ -40,10 +40,13 @@ func (a *Automaton) findAcceptingSCC(allowed []bool) []int {
 // search over a large product aborts promptly with ctx.Err() or
 // budget.ErrBudgetExceeded.
 func (a *Automaton) findAcceptingSCCCtx(ctx context.Context, allowed []bool) ([]int, error) {
-	if err := budget.Poll(ctx, 1); err != nil {
+	// SCCsCtx charges the one budget step for this pass (and polls the
+	// context periodically while visiting nodes).
+	comps, err := a.kern.SCCsCtx(ctx, allowed)
+	if err != nil {
 		return nil, err
 	}
-	for _, comp := range a.SCCs(allowed) {
+	for _, comp := range comps {
 		if err := fault.Hit(fault.SiteOmegaEmptiness); err != nil {
 			return nil, err
 		}
@@ -96,7 +99,7 @@ func (a *Automaton) refineSCCCtx(ctx context.Context, comp []int) ([]int, error)
 	if len(bad) == 0 {
 		return comp, nil
 	}
-	restricted := make([]bool, len(a.trans))
+	restricted := make([]bool, a.NumStates())
 	count := 0
 	for _, q := range comp {
 		keep := true
@@ -127,15 +130,15 @@ func (a *Automaton) IsEmpty() bool {
 // if the language is empty. The witness realizes inf(r) equal to an
 // accepting strongly connected set.
 func (a *Automaton) WitnessLasso() (word.Lasso, bool) {
-	sp := obs.Start("omega.emptiness").Int("states", len(a.trans)).Int("pairs", len(a.pairs))
+	sp := obs.Start("omega.emptiness").Int("states", a.NumStates()).Int("pairs", len(a.pairs))
 	defer sp.End()
 	cntEmptinessChecks.Inc()
-	comp := a.findAcceptingSCC(a.Reachable())
+	comp := a.findAcceptingSCC(a.kern.Reachable())
 	if comp == nil {
 		return word.Lasso{}, false
 	}
 	anchor := comp[0]
-	prefix, ok := a.pathWithin(a.start, anchor, nil)
+	prefix, ok := a.pathWithin(a.kern.Start(), anchor, nil)
 	if !ok {
 		return word.Lasso{}, false
 	}
@@ -149,37 +152,21 @@ func (a *Automaton) WitnessLasso() (word.Lasso, bool) {
 // NonEmptyFrom reports whether some infinite word is accepted when the run
 // starts at state q instead of the initial state.
 func (a *Automaton) NonEmptyFrom(q int) bool {
-	reach := make([]bool, len(a.trans))
-	reach[q] = true
-	stack := []int{q}
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, next := range a.trans[s] {
-			if !reach[next] {
-				reach[next] = true
-				stack = append(stack, next)
-			}
-		}
-	}
-	return a.findAcceptingSCC(reach) != nil
+	return a.findAcceptingSCC(a.kern.ReachableFrom(q)) != nil
 }
 
 // LiveStates returns, per state, whether the automaton accepts some word
 // from that state. Dead states are closed under transitions: every
 // successor of a dead state is dead.
 func (a *Automaton) LiveStates() []bool {
-	sp := obs.Start("omega.livestates").Int("states", len(a.trans))
+	sp := obs.Start("omega.livestates").Int("states", a.NumStates())
 	defer sp.End()
-	n := len(a.trans)
-	live := make([]bool, n)
+	live := make([]bool, a.NumStates())
 	// Every state inside some accepting SCC is live; then propagate
-	// backwards: a state with a live successor is live.
-	all := make([]bool, n)
-	for i := range all {
-		all[i] = true
-	}
-	for _, comp := range a.SCCs(all) {
+	// backwards over the kernel's cached reverse adjacency: a state with
+	// a live successor is live. The full SCC decomposition is shared with
+	// every other analysis of this kernel.
+	for _, comp := range a.kern.SCCs(nil) {
 		if !a.IsCyclic(comp) {
 			continue
 		}
@@ -189,30 +176,5 @@ func (a *Automaton) LiveStates() []bool {
 			}
 		}
 	}
-	// Some accepting sets are strict subsets found by refinement in other
-	// components; mark those too by checking each not-yet-live SCC's
-	// refinement result (already done above). Now propagate backwards.
-	rev := make([][]int, n)
-	for q := range a.trans {
-		for _, next := range a.trans[q] {
-			rev[next] = append(rev[next], q)
-		}
-	}
-	var stack []int
-	for q, l := range live {
-		if l {
-			stack = append(stack, q)
-		}
-	}
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range rev[q] {
-			if !live[p] {
-				live[p] = true
-				stack = append(stack, p)
-			}
-		}
-	}
-	return live
+	return a.kern.BackwardClosure(live)
 }

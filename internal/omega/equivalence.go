@@ -53,7 +53,7 @@ func (a *Automaton) ContainsEagerCtx(ctx context.Context, b *Automaton) (bool, w
 	if !a.alpha.Equal(b.alpha) {
 		return false, word.Lasso{}, errAlphabetMismatch("containment", a.alpha, b.alpha)
 	}
-	sp := obs.Start("omega.contains.eager").Int("left_states", len(a.trans)).Int("right_states", len(b.trans))
+	sp := obs.Start("omega.contains.eager").Int("left_states", a.NumStates()).Int("right_states", b.NumStates())
 	defer sp.End()
 	// Build the product structure with both pair lists lifted.
 	prod, err := a.IntersectCtx(ctx, b)
@@ -63,8 +63,8 @@ func (a *Automaton) ContainsEagerCtx(ctx context.Context, b *Automaton) (bool, w
 	na := len(a.pairs)
 	aPairs := prod.pairs[:na]
 	bPairs := prod.pairs[na:]
-	n := len(prod.trans)
-	reach := prod.Reachable()
+	n := prod.NumStates()
+	reach := prod.kern.Reachable()
 
 	for _, broken := range aPairs {
 		if err := budget.Poll(ctx, 1); err != nil {
@@ -78,12 +78,7 @@ func (a *Automaton) ContainsEagerCtx(ctx context.Context, b *Automaton) (bool, w
 		for q := 0; q < n; q++ {
 			forcing.R[q] = !broken.P[q]
 		}
-		search := &Automaton{
-			alpha: prod.alpha,
-			trans: prod.trans,
-			start: prod.start,
-			pairs: append(append([]Pair{}, bPairs...), forcing),
-		}
+		search := prod.sharedWithPairs(append(append([]Pair{}, bPairs...), forcing))
 		comp, err := search.findAcceptingSCCCtx(ctx, allowed)
 		if err != nil {
 			return false, word.Lasso{}, err
@@ -92,7 +87,7 @@ func (a *Automaton) ContainsEagerCtx(ctx context.Context, b *Automaton) (bool, w
 			continue
 		}
 		anchor := comp[0]
-		prefix, ok := prod.pathWithin(prod.start, anchor, nil)
+		prefix, ok := prod.pathWithin(prod.kern.Start(), anchor, nil)
 		if !ok {
 			continue
 		}

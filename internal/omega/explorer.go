@@ -2,10 +2,10 @@ package omega
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/budget"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -55,7 +55,7 @@ type ProductExplorer struct {
 	nf    int // number of factors
 	k     int // alphabet size
 
-	index  map[string]int
+	index  *autkern.TupleInterner
 	tuples []int32 // tuple of state i at [i*nf : (i+1)*nf]
 	trans  [][]int // successor rows; nil until the state is closed
 	closed int     // states 0..closed-1 have materialized rows
@@ -89,7 +89,7 @@ func NewProductExplorer(autos ...*Automaton) (*ProductExplorer, error) {
 		alpha: alpha,
 		nf:    len(autos),
 		k:     alpha.Size(),
-		index: map[string]int{},
+		index: autkern.NewTupleInterner(),
 	}
 	npairs := 0
 	for _, a := range autos {
@@ -100,7 +100,7 @@ func NewProductExplorer(autos ...*Automaton) (*ProductExplorer, error) {
 	e.pairs = make([]Pair, npairs)
 	start := make([]int32, e.nf)
 	for f, a := range autos {
-		start[f] = int32(a.start)
+		start[f] = int32(a.kern.Start())
 	}
 	e.discover(start)
 	return e, nil
@@ -109,15 +109,10 @@ func NewProductExplorer(autos ...*Automaton) (*ProductExplorer, error) {
 // discover interns a product tuple, lifting every factor's acceptance
 // bits onto the new state, and returns its index.
 func (e *ProductExplorer) discover(t []int32) int {
-	key := make([]byte, 4*len(t))
-	for i, v := range t {
-		binary.LittleEndian.PutUint32(key[i*4:], uint32(v))
-	}
-	if i, ok := e.index[string(key)]; ok {
+	i, fresh := e.index.Intern32(t)
+	if !fresh {
 		return i
 	}
-	i := len(e.trans)
-	e.index[string(key)] = i
 	e.tuples = append(e.tuples, t...)
 	e.trans = append(e.trans, nil)
 	for f, a := range e.autos {
@@ -158,7 +153,7 @@ func (e *ProductExplorer) ExploreCtx(ctx context.Context, limit int) (done bool,
 		row := make([]int, e.k)
 		for s := 0; s < e.k; s++ {
 			for f, a := range e.autos {
-				next[f] = int32(a.trans[cur[f]][s])
+				next[f] = int32(a.kern.Step(int(cur[f]), s))
 			}
 			row[s] = e.discover(next)
 		}
@@ -219,8 +214,7 @@ func (e *ProductExplorer) view() (*Automaton, []bool) {
 	}
 	v := &Automaton{
 		alpha: e.alpha,
-		trans: e.trans[:n:n],
-		start: 0,
+		kern:  autkern.New(e.trans[:n:n], e.k, 0),
 		pairs: pairs,
 	}
 	closed := make([]bool, n)

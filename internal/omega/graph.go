@@ -1,163 +1,48 @@
 package omega
 
 import (
-	"sort"
-
+	"repro/internal/autkern"
 	"repro/internal/word"
 )
 
 // SCCs returns the strongly connected components of the transition graph
 // restricted to the allowed states (nil means all states). Every allowed
 // state appears in exactly one component; components are sorted internally.
+// The full (allowed == nil) decomposition is cached on the kernel and
+// shared: treat it as read-only.
 func (a *Automaton) SCCs(allowed []bool) [][]int {
-	n := len(a.trans)
-	ok := func(q int) bool { return allowed == nil || allowed[q] }
-
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
-	}
-	var stack []int
-	var comps [][]int
-	counter := 0
-
-	type frame struct {
-		node int
-		edge int
-	}
-	for root := 0; root < n; root++ {
-		if !ok(root) || index[root] >= 0 {
-			continue
-		}
-		var call []frame
-		index[root], low[root] = counter, counter
-		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-		call = append(call, frame{node: root})
-		for len(call) > 0 {
-			f := &call[len(call)-1]
-			q := f.node
-			if f.edge < len(a.trans[q]) {
-				to := a.trans[q][f.edge]
-				f.edge++
-				if !ok(to) {
-					continue
-				}
-				if index[to] < 0 {
-					index[to], low[to] = counter, counter
-					counter++
-					stack = append(stack, to)
-					onStack[to] = true
-					call = append(call, frame{node: to})
-				} else if onStack[to] && index[to] < low[q] {
-					low[q] = index[to]
-				}
-				continue
-			}
-			call = call[:len(call)-1]
-			if len(call) > 0 {
-				p := call[len(call)-1].node
-				if low[q] < low[p] {
-					low[p] = low[q]
-				}
-			}
-			if low[q] == index[q] {
-				var comp []int
-				for {
-					m := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[m] = false
-					comp = append(comp, m)
-					if m == q {
-						break
-					}
-				}
-				sort.Ints(comp)
-				comps = append(comps, comp)
-			}
-		}
-	}
-	return comps
+	return a.kern.SCCs(allowed)
 }
 
 // IsCyclic reports whether the given state set contains at least one edge
 // internal to the set — i.e. whether a run can stay inside it. A singleton
 // is cyclic only with a self-loop.
 func (a *Automaton) IsCyclic(set []int) bool {
-	in := make(map[int]bool, len(set))
-	for _, q := range set {
-		in[q] = true
-	}
-	for _, q := range set {
-		for _, next := range a.trans[q] {
-			if in[next] {
-				return true
-			}
-		}
-	}
-	return false
+	return a.kern.IsCyclic(set)
 }
 
 // stateSet converts a sorted slice to a membership vector.
 func (a *Automaton) stateSet(set []int) []bool {
-	v := make([]bool, len(a.trans))
-	for _, q := range set {
-		v[q] = true
-	}
-	return v
+	return autkern.Members(a.kern.NumStates(), set)
 }
 
 // pathWithin finds a shortest symbol path from x to y using only states in
 // allowed (the endpoints must be allowed). Returns nil, false if none.
 // A path of length zero is returned when x == y.
 func (a *Automaton) pathWithin(x, y int, allowed []bool) (word.Finite, bool) {
-	if x == y {
-		return word.Finite{}, true
+	path, ok := a.kern.ShortestPathWithin(x, y, allowed)
+	if !ok {
+		return nil, false
 	}
-	type nodeInfo struct {
-		prev int
-		sym  int
+	w := make(word.Finite, len(path))
+	for i, si := range path {
+		w[i] = a.alpha.Symbol(si)
 	}
-	info := map[int]nodeInfo{}
-	seen := map[int]bool{x: true}
-	queue := []int{x}
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
-		for si, next := range a.trans[q] {
-			if allowed != nil && !allowed[next] {
-				continue
-			}
-			if seen[next] {
-				continue
-			}
-			seen[next] = true
-			info[next] = nodeInfo{prev: q, sym: si}
-			if next == y {
-				var rev []int
-				cur := y
-				for cur != x {
-					ni := info[cur]
-					rev = append(rev, ni.sym)
-					cur = ni.prev
-				}
-				w := make(word.Finite, len(rev))
-				for i := range rev {
-					w[i] = a.alpha.Symbol(rev[len(rev)-1-i])
-				}
-				return w, true
-			}
-			queue = append(queue, next)
-		}
-	}
-	return nil, false
+	return w, true
 }
 
-// stepOnSymbolIndexPath is a helper used by witness construction: returns
-// the state reached from q on the word w (assumed in-alphabet).
+// stepWord is a helper used by witness construction: returns the state
+// reached from q on the word w (assumed in-alphabet).
 func (a *Automaton) stepWord(q int, w word.Finite) int {
 	for _, s := range w {
 		q = a.Step(q, s)
@@ -187,7 +72,7 @@ func (a *Automaton) coveringCycle(anchor int, set []int) (word.Finite, bool) {
 	out = append(out, back...)
 	if len(out) == 0 {
 		// Singleton SCC: use a self-loop symbol.
-		for si, next := range a.trans[anchor] {
+		for si, next := range a.kern.Row(anchor) {
 			if next == anchor {
 				return word.Finite{a.alpha.Symbol(si)}, true
 			}

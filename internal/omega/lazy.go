@@ -32,7 +32,7 @@ func (a *Automaton) lazyContainsCtx(ctx context.Context, b *Automaton, firstWave
 		return false, word.Lasso{}, errAlphabetMismatch("containment", a.alpha, b.alpha)
 	}
 	sp := obs.Start("omega.contains").
-		Int("left_states", len(a.trans)).Int("right_states", len(b.trans))
+		Int("left_states", a.NumStates()).Int("right_states", b.NumStates())
 	defer sp.End()
 	ex, err := NewProductExplorer(a, b)
 	if err != nil {
@@ -51,7 +51,7 @@ func (a *Automaton) lazyContainsCtx(ctx context.Context, b *Automaton, firstWave
 		}
 		waves++
 		view, closed := ex.view()
-		n := len(view.trans)
+		n := view.NumStates()
 		aPairs := view.pairs[alo:ahi]
 		bPairs := view.pairs[blo:bhi]
 		for _, broken := range aPairs {
@@ -66,12 +66,7 @@ func (a *Automaton) lazyContainsCtx(ctx context.Context, b *Automaton, firstWave
 			for q := 0; q < n; q++ {
 				forcing.R[q] = !broken.P[q]
 			}
-			search := &Automaton{
-				alpha: view.alpha,
-				trans: view.trans,
-				start: view.start,
-				pairs: append(append([]Pair{}, bPairs...), forcing),
-			}
+			search := view.sharedWithPairs(append(append([]Pair{}, bPairs...), forcing))
 			comp, err := search.findAcceptingSCCCtx(ctx, allowed)
 			if err != nil {
 				return false, word.Lasso{}, err
@@ -99,7 +94,7 @@ func (a *Automaton) lazyContainsCtx(ctx context.Context, b *Automaton, firstWave
 // the closed region and then realizes inf = comp.
 func (a *Automaton) extractWitness(comp []int, closed []bool) (word.Lasso, bool) {
 	anchor := comp[0]
-	prefix, ok := a.pathWithin(a.start, anchor, closed)
+	prefix, ok := a.pathWithin(a.kern.Start(), anchor, closed)
 	if !ok {
 		return word.Lasso{}, false
 	}

@@ -80,7 +80,7 @@ func TestProductExplorerInvariants(t *testing.T) {
 		if closed[i] != wantClosed {
 			t.Errorf("closed[%d] = %v", i, closed[i])
 		}
-		if (view.trans[i] != nil) != wantClosed {
+		if (view.kern.Row(i) != nil) != wantClosed {
 			t.Errorf("state %d: row materialization disagrees with closed set", i)
 		}
 	}
@@ -182,7 +182,7 @@ func TestLazyIntersectWitnessWaveBoundaries(t *testing.T) {
 		m := a.NumStates()
 		p := Pair{R: make([]bool, m), P: make([]bool, m)}
 		p.P[0] = true
-		nonEmpty[i] = MustNew(lazyAB, a.trans, 0, []Pair{p})
+		nonEmpty[i] = MustNew(lazyAB, a.kern.Rows(), 0, []Pair{p})
 	}
 	for _, firstWave := range []int{1, 2, 64, 1 << 20} {
 		w, ok, err := lazyIntersectWitnessCtx(context.Background(), nonEmpty, firstWave)
@@ -208,7 +208,7 @@ func TestLazyIntersectWitnessWaveBoundaries(t *testing.T) {
 	for i := range empty {
 		p := Pair{R: make([]bool, 4), P: make([]bool, 4)}
 		p.P[i+1] = true
-		empty[i] = MustNew(lazyAB, modCounter(4, false, false).trans, 0, []Pair{p})
+		empty[i] = MustNew(lazyAB, modCounter(4, false, false).kern.Rows(), 0, []Pair{p})
 	}
 	for _, firstWave := range []int{1, 64} {
 		_, ok, err := lazyIntersectWitnessCtx(context.Background(), empty, firstWave)

@@ -183,9 +183,9 @@ func (a *Automaton) Text() string {
 		b.WriteString(" " + string(s))
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "states %d\nstart %d\n", len(a.trans), a.start)
-	for q := range a.trans {
-		for si, to := range a.trans[q] {
+	fmt.Fprintf(&b, "states %d\nstart %d\n", a.NumStates(), a.Start())
+	for q := 0; q < a.NumStates(); q++ {
+		for si, to := range a.kern.Row(q) {
 			fmt.Fprintf(&b, "trans %d %s %d\n", q, a.alpha.Symbol(si), to)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/autkern"
 	"repro/internal/budget"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -31,25 +32,14 @@ func (a *Automaton) IntersectCtx(ctx context.Context, b *Automaton) (*Automaton,
 		return nil, fmt.Errorf("omega: product over different alphabets %v and %v", a.alpha, b.alpha)
 	}
 	sp := obs.Start("omega.product").
-		Int("left_states", len(a.trans)).Int("right_states", len(b.trans)).
+		Int("left_states", a.NumStates()).Int("right_states", b.NumStates()).
 		Int("alphabet", a.alpha.Size())
 	defer sp.End()
 	k := a.alpha.Size()
-	type pr struct{ x, y int }
-	index := map[pr]int{}
-	var order []pr
-	get := func(p pr) int {
-		if i, ok := index[p]; ok {
-			return i
-		}
-		i := len(order)
-		index[p] = i
-		order = append(order, p)
-		return i
-	}
-	get(pr{a.start, b.start})
+	in := autkern.NewPairInterner()
+	in.Intern(a.kern.Start(), b.kern.Start())
 	var trans [][]int
-	for i := 0; i < len(order); i++ {
+	for i := 0; i < in.Len(); i++ {
 		if err := fault.Hit(fault.SiteOmegaProduct); err != nil {
 			return nil, err
 		}
@@ -59,34 +49,37 @@ func (a *Automaton) IntersectCtx(ctx context.Context, b *Automaton) (*Automaton,
 		if err := budget.ChargeStates(ctx, 1); err != nil {
 			return nil, err
 		}
-		p := order[i]
+		x, y := in.Pair(i)
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			row[s] = get(pr{a.trans[p.x][s], b.trans[p.y][s]})
+			row[s] = in.Intern(a.kern.Step(x, s), b.kern.Step(y, s))
 		}
 		trans = append(trans, row)
 	}
-	n := len(order)
+	n := in.Len()
 	pairs := make([]Pair, 0, len(a.pairs)+len(b.pairs))
 	for _, p := range a.pairs {
 		lifted := Pair{R: make([]bool, n), P: make([]bool, n)}
-		for i, st := range order {
-			lifted.R[i] = p.R[st.x]
-			lifted.P[i] = p.P[st.x]
+		for i := 0; i < n; i++ {
+			x, _ := in.Pair(i)
+			lifted.R[i] = p.R[x]
+			lifted.P[i] = p.P[x]
 		}
 		pairs = append(pairs, lifted)
 	}
 	for _, p := range b.pairs {
 		lifted := Pair{R: make([]bool, n), P: make([]bool, n)}
-		for i, st := range order {
-			lifted.R[i] = p.R[st.y]
-			lifted.P[i] = p.P[st.y]
+		for i := 0; i < n; i++ {
+			_, y := in.Pair(i)
+			lifted.R[i] = p.R[y]
+			lifted.P[i] = p.P[y]
 		}
 		pairs = append(pairs, lifted)
 	}
 	labels := make([]string, n)
-	for i, st := range order {
-		labels[i] = a.Label(st.x) + "|" + b.Label(st.y)
+	for i := 0; i < n; i++ {
+		x, y := in.Pair(i)
+		labels[i] = a.Label(x) + "|" + b.Label(y)
 	}
 	out, err := New(a.alpha, trans, 0, pairs)
 	if err != nil {
@@ -130,38 +123,27 @@ func (a *Automaton) ComplementSinglePair() (*Automaton, error) {
 	if len(a.pairs) != 1 {
 		return nil, fmt.Errorf("omega: ComplementSinglePair on %d pairs", len(a.pairs))
 	}
-	n := len(a.trans)
+	n := a.NumStates()
 	p := a.pairs[0]
 	notR := make([]bool, n)
 	notP := make([]bool, n)
-	all := make([]bool, n)
 	none := make([]bool, n)
 	for q := 0; q < n; q++ {
 		notR[q] = !p.R[q]
 		notP[q] = !p.P[q]
-		all[q] = true
 	}
 	pairs := []Pair{
 		{R: none, P: notR}, // inf ⊆ Q−R, i.e. inf∩R=∅
 		{R: notP, P: none}, // inf ∩ (Q−P) ≠ ∅, i.e. inf ⊄ P
 	}
-	out, err := New(a.alpha, a.trans, a.start, pairs)
-	if err != nil {
-		return nil, err
-	}
-	out.labels = append([]string(nil), a.labels...)
-	return out, nil
+	return a.withPairsShared(pairs)
 }
 
-// WithPairs returns a copy of the automaton's transition structure with a
-// different acceptance list.
+// WithPairs returns an automaton over the same transition structure
+// (sharing the kernel and its cached analyses) with a different
+// acceptance list.
 func (a *Automaton) WithPairs(pairs []Pair) (*Automaton, error) {
-	out, err := New(a.alpha, a.trans, a.start, pairs)
-	if err != nil {
-		return nil, err
-	}
-	out.labels = append([]string(nil), a.labels...)
-	return out, nil
+	return a.withPairsShared(pairs)
 }
 
 // SafetyClosure returns an automaton for A(Pref(Π)), the paper's safety
@@ -170,10 +152,11 @@ func (a *Automaton) WithPairs(pairs []Pair) (*Automaton, error) {
 // with R = ∅ and P = the live states).
 func (a *Automaton) SafetyClosure() *Automaton {
 	live := a.LiveStates()
-	n := len(a.trans)
-	none := make([]bool, n)
-	out := MustNew(a.alpha, a.trans, a.start, []Pair{{R: none, P: live}})
-	out.labels = append([]string(nil), a.labels...)
+	none := make([]bool, a.NumStates())
+	out, err := a.withPairsShared([]Pair{{R: none, P: live}})
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -191,8 +174,10 @@ func (a *Automaton) LivenessExtension() *Automaton {
 			}
 		}
 	}
-	out := MustNew(a.alpha, a.trans, a.start, pairs)
-	out.labels = append([]string(nil), a.labels...)
+	out, err := a.withPairsShared(pairs)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -200,7 +185,7 @@ func (a *Automaton) LivenessExtension() *Automaton {
 // liveness property: Pref(Π) = Σ⁺, i.e. every reachable state is live.
 func (a *Automaton) IsLivenessProperty() bool {
 	live := a.LiveStates()
-	for q, reach := range a.Reachable() {
+	for q, reach := range a.kern.Reachable() {
 		if reach && !live[q] {
 			return false
 		}

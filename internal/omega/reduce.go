@@ -1,6 +1,9 @@
 package omega
 
-import "repro/internal/obs"
+import (
+	"repro/internal/autkern"
+	"repro/internal/obs"
+)
 
 // Reduce returns a language-equivalent automaton obtained by merging
 // bisimilar states: states with the same acceptance "color" (their
@@ -13,15 +16,15 @@ import "repro/internal/obs"
 // Reduce never changes the number of pairs; combine with the canonical
 // constructions (ToRecurrenceAutomaton etc.) for stronger normalization.
 func (a *Automaton) Reduce() *Automaton {
-	sp := obs.Start("omega.reduce").Int("in_states", len(a.trans))
+	sp := obs.Start("omega.reduce").Int("in_states", a.NumStates())
 	defer sp.End()
 	t := a.Trim()
-	n := len(t.trans)
+	n := t.NumStates()
 	k := t.alpha.Size()
 
 	// Initial partition by color.
-	colorKey := func(q int) string {
-		buf := make([]byte, 0, 2*len(t.pairs))
+	colorKey := func(q int, buf []byte) []byte {
+		buf = buf[:0]
 		for _, p := range t.pairs {
 			b := byte(0)
 			if p.R[q] {
@@ -32,45 +35,35 @@ func (a *Automaton) Reduce() *Automaton {
 			}
 			buf = append(buf, b)
 		}
-		return string(buf)
+		return buf
 	}
 	class := make([]int, n)
 	{
-		index := map[string]int{}
+		colors := autkern.NewKeyInterner()
+		var buf []byte
 		for q := 0; q < n; q++ {
-			key := colorKey(q)
-			id, ok := index[key]
-			if !ok {
-				id = len(index)
-				index[key] = id
-			}
-			class[q] = id
+			buf = colorKey(q, buf)
+			class[q], _ = colors.Intern(buf)
 		}
 	}
 
 	// Refine until stable: split classes by successor-class signatures.
+	sig := make([]byte, 0, 4*(k+1))
 	for {
-		index := map[string]int{}
+		sigs := autkern.NewKeyInterner()
 		next := make([]int, n)
 		for q := 0; q < n; q++ {
-			sig := make([]byte, 0, 4*(k+1))
-			sig = appendInt(sig, class[q])
+			sig = appendInt(sig[:0], class[q])
 			for s := 0; s < k; s++ {
-				sig = appendInt(sig, class[t.trans[q][s]])
+				sig = appendInt(sig, class[t.kern.Step(q, s)])
 			}
-			key := string(sig)
-			id, ok := index[key]
-			if !ok {
-				id = len(index)
-				index[key] = id
-			}
-			next[q] = id
+			next[q], _ = sigs.Intern(sig)
 		}
 		same := true
 		// Same partition iff the number of classes did not grow (refinement
 		// only ever splits).
 		oldCount := countClasses(class)
-		if len(index) != oldCount {
+		if sigs.Len() != oldCount {
 			same = false
 		}
 		class = next
@@ -96,14 +89,14 @@ func (a *Automaton) Reduce() *Automaton {
 	for i := range pos {
 		pos[i] = -1
 	}
-	queue := []int{class[t.start]}
-	pos[class[t.start]] = 0
-	order = append(order, class[t.start])
+	queue := []int{class[t.Start()]}
+	pos[class[t.Start()]] = 0
+	order = append(order, class[t.Start()])
 	for len(queue) > 0 {
 		c := queue[0]
 		queue = queue[1:]
 		for s := 0; s < k; s++ {
-			nc := class[t.trans[rep[c]][s]]
+			nc := class[t.kern.Step(rep[c], s)]
 			if pos[nc] < 0 {
 				pos[nc] = len(order)
 				order = append(order, nc)
@@ -120,7 +113,7 @@ func (a *Automaton) Reduce() *Automaton {
 		q := rep[c]
 		row := make([]int, k)
 		for s := 0; s < k; s++ {
-			row[s] = pos[class[t.trans[q][s]]]
+			row[s] = pos[class[t.kern.Step(q, s)]]
 		}
 		trans[i] = row
 		for pi, p := range t.pairs {

@@ -15,20 +15,32 @@ import "strconv"
 // structural hash, computable in O(n·k), not a language canonical form.
 // Combine with Reduce for stronger normalization before keying when the
 // extra sharing is worth the quotient cost.
+//
+// The key is computed at most once per automaton and cached (automata are
+// immutable), so the engine's memo lookups pay O(1) after the first call.
 func (a *Automaton) StructuralKey() string {
-	n := len(a.trans)
+	if s := a.skey.Load(); s != nil {
+		return *s
+	}
+	s := a.computeStructuralKey()
+	a.skey.CompareAndSwap(nil, &s)
+	return *a.skey.Load()
+}
+
+func (a *Automaton) computeStructuralKey() string {
+	n := a.kern.NumStates()
 	k := a.alpha.Size()
 	pos := make([]int, n) // BFS position, -1 = not yet visited
 	for i := range pos {
 		pos[i] = -1
 	}
 	order := make([]int, 0, n)
-	pos[a.start] = 0
-	order = append(order, a.start)
+	pos[a.kern.Start()] = 0
+	order = append(order, a.kern.Start())
 	for i := 0; i < len(order); i++ {
 		q := order[i]
 		for s := 0; s < k; s++ {
-			next := a.trans[q][s]
+			next := a.kern.Step(q, s)
 			if pos[next] < 0 {
 				pos[next] = len(order)
 				order = append(order, next)
@@ -47,7 +59,7 @@ func (a *Automaton) StructuralKey() string {
 	buf = append(buf, '|')
 	for _, q := range order {
 		for s := 0; s < k; s++ {
-			buf = strconv.AppendInt(buf, int64(pos[a.trans[q][s]]), 10)
+			buf = strconv.AppendInt(buf, int64(pos[a.kern.Step(q, s)]), 10)
 			buf = append(buf, ',')
 		}
 	}

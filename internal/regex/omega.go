@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/alphabet"
+	"repro/internal/autkern"
 	"repro/internal/dfa"
 	"repro/internal/word"
 )
@@ -128,10 +129,12 @@ func (b *Buchi) AcceptsLasso(w word.Lasso) bool {
 		return len(u)
 	}
 	id := func(q, i int) int { return q*nPos + i }
+	nNodes := b.NumStates() * nPos
 
-	// Build reachable product graph. Edges carry a consuming flag.
-	adj := map[int][]prodEdge{}
-	seen := map[int]bool{}
+	// Build reachable product graph over the dense (state, position) node
+	// space. Edges carry a consuming flag.
+	adj := make([][]prodEdge, nNodes)
+	seen := make([]bool, nNodes)
 	var stack []int
 	for _, q := range b.nfa.EpsClosure(b.nfa.Start) {
 		n := id(q, 0)
@@ -163,99 +166,34 @@ func (b *Buchi) AcceptsLasso(w word.Lasso) bool {
 		}
 	}
 
-	// Tarjan SCC over the product graph.
-	sccOf, sccCount := tarjan(adj, seen)
-	hasAccept := make([]bool, sccCount)
-	hasConsume := make([]bool, sccCount)
-	for n := range seen {
-		q := n / nPos
-		if b.nfa.Accept[q] {
-			hasAccept[sccOf[n]] = true
-		}
-		for _, e := range adj[n] {
-			if e.consuming && sccOf[e.to] == sccOf[n] {
-				hasConsume[sccOf[n]] = true
-			}
+	// SCC decomposition over the product graph via the shared kernel.
+	comps := autkern.SCCsFunc(nNodes,
+		func(n int) int { return len(adj[n]) },
+		func(n, i int) int { return adj[n][i].to },
+		seen)
+	sccOf := make([]int, nNodes)
+	for c, comp := range comps {
+		for _, n := range comp {
+			sccOf[n] = c
 		}
 	}
-	for c := 0; c < sccCount; c++ {
-		if hasAccept[c] && hasConsume[c] {
+	for c, comp := range comps {
+		hasAccept, hasConsume := false, false
+		for _, n := range comp {
+			if b.nfa.Accept[n/nPos] {
+				hasAccept = true
+			}
+			for _, e := range adj[n] {
+				if e.consuming && sccOf[e.to] == c {
+					hasConsume = true
+				}
+			}
+		}
+		if hasAccept && hasConsume {
 			return true
 		}
 	}
 	return false
-}
-
-// tarjan computes strongly connected components of the given graph,
-// returning a component id per node and the number of components. Single
-// nodes without self-loops form their own (trivial) components.
-func tarjan(adj map[int][]prodEdge, nodes map[int]bool) (map[int]int, int) {
-	index := map[int]int{}
-	low := map[int]int{}
-	onStack := map[int]bool{}
-	sccOf := map[int]int{}
-	var stack []int
-	counter := 0
-	sccCount := 0
-
-	type frame struct {
-		node int
-		edge int
-	}
-	for root := range nodes {
-		if _, done := index[root]; done {
-			continue
-		}
-		var callStack []frame
-		index[root] = counter
-		low[root] = counter
-		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-		callStack = append(callStack, frame{node: root})
-		for len(callStack) > 0 {
-			f := &callStack[len(callStack)-1]
-			if f.edge < len(adj[f.node]) {
-				to := adj[f.node][f.edge].to
-				f.edge++
-				if _, visited := index[to]; !visited {
-					index[to] = counter
-					low[to] = counter
-					counter++
-					stack = append(stack, to)
-					onStack[to] = true
-					callStack = append(callStack, frame{node: to})
-				} else if onStack[to] {
-					if index[to] < low[f.node] {
-						low[f.node] = index[to]
-					}
-				}
-				continue
-			}
-			// Pop.
-			n := f.node
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				parent := callStack[len(callStack)-1].node
-				if low[n] < low[parent] {
-					low[parent] = low[n]
-				}
-			}
-			if low[n] == index[n] {
-				for {
-					m := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[m] = false
-					sccOf[m] = sccCount
-					if m == n {
-						break
-					}
-				}
-				sccCount++
-			}
-		}
-	}
-	return sccOf, sccCount
 }
 
 // Witness returns a lasso word accepted by the automaton, or ok=false if
@@ -316,46 +254,39 @@ func (b *Buchi) shortestPathsFromStarts() map[int]word.Finite {
 // shortestConsumingLoop finds a closed path q → q with at least one
 // symbol-consuming edge, returning its label word.
 func (b *Buchi) shortestConsumingLoop(q int) (word.Finite, bool) {
-	// BFS over (state, consumed-bit).
-	type key struct {
-		q        int
-		consumed bool
-	}
+	// BFS over (state, consumed-bit), interned through the shared kernel's
+	// pair interner: a pair is unseen iff interning it grows the table.
 	type node struct {
-		k key
-		w word.Finite
+		q        int
+		consumed int // 0 or 1
+		w        word.Finite
 	}
-	seen := map[key]bool{}
-	start := key{q: q}
-	seen[start] = true
-	queue := []node{{k: start, w: word.Finite{}}}
+	in := autkern.NewPairInterner()
+	in.Intern(q, 0)
+	queue := []node{{q: q, w: word.Finite{}}}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if cur.k.q == q && cur.k.consumed {
+		if cur.q == q && cur.consumed == 1 {
 			return cur.w, true
 		}
-		for _, q2 := range b.nfa.Eps[cur.k.q] {
-			k2 := key{q: q2, consumed: cur.k.consumed}
-			if k2.q == q && k2.consumed {
+		for _, q2 := range b.nfa.Eps[cur.q] {
+			if q2 == q && cur.consumed == 1 {
 				return cur.w, true
 			}
-			if !seen[k2] {
-				seen[k2] = true
-				queue = append(queue, node{k: k2, w: cur.w})
+			if before := in.Len(); in.Intern(q2, cur.consumed) == before {
+				queue = append(queue, node{q: q2, consumed: cur.consumed, w: cur.w})
 			}
 		}
-		for si, tos := range b.nfa.Trans[cur.k.q] {
+		for si, tos := range b.nfa.Trans[cur.q] {
 			sym := b.nfa.Alpha.Symbol(si)
 			for _, q2 := range tos {
-				k2 := key{q: q2, consumed: true}
 				w2 := append(append(word.Finite{}, cur.w...), sym)
-				if k2.q == q {
+				if q2 == q {
 					return w2, true
 				}
-				if !seen[k2] {
-					seen[k2] = true
-					queue = append(queue, node{k: k2, w: w2})
+				if before := in.Len(); in.Intern(q2, 1) == before {
+					queue = append(queue, node{q: q2, consumed: 1, w: w2})
 				}
 			}
 		}

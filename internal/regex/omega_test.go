@@ -1,0 +1,59 @@
+package regex
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/word"
+)
+
+// The witness search walks (state, consumed-flag) pairs: a loop back to
+// the accepting anchor only counts once a symbol-consuming edge has been
+// crossed, otherwise an ε-cycle would be reported as an (invalid) empty
+// loop. These tests pin the consumed-flag transitions after the walker
+// was moved onto the shared pair interner.
+func TestWitnessLoopMustConsume(t *testing.T) {
+	ab := alphabet.MustNew("a", "b")
+
+	// (a*)^w: the a* body admits the empty word, so the anchor has an
+	// ε-cycle; the witness loop must still consume at least one 'a'.
+	b := MustCompileOmegaString("(a*)^w", ab)
+	w, ok := b.Witness()
+	if !ok {
+		t.Fatal("(a*)^w is non-empty")
+	}
+	if len(w.LoopPart()) == 0 {
+		t.Fatal("witness loop is empty: consumed-flag transition lost")
+	}
+	if !b.AcceptsLasso(w) {
+		t.Fatalf("witness %v rejected by its own automaton", w)
+	}
+
+	// The consumed flag must persist across ε-steps after the first
+	// symbol: b(ab)^w forces a two-symbol loop through ε-glue.
+	b2 := MustCompileOmegaString("b(ab)^w", ab)
+	w2, ok := b2.Witness()
+	if !ok {
+		t.Fatal("b(ab)^w is non-empty")
+	}
+	if !b2.AcceptsLasso(w2) {
+		t.Fatalf("witness %v rejected by its own automaton", w2)
+	}
+	if got := len(w2.LoopPart()); got != 2 {
+		t.Fatalf("loop = %v, want the 2-symbol cycle ab", w2.LoopPart())
+	}
+}
+
+// AcceptsLasso distinguishes consuming from non-consuming product cycles:
+// an SCC made only of ε-edges must not be accepting even when it contains
+// an accepting state.
+func TestAcceptsLassoRequiresConsumingCycle(t *testing.T) {
+	ab := alphabet.MustNew("a", "b")
+	b := MustCompileOmegaString("(a*)^w", ab)
+	if !b.AcceptsLasso(word.MustLassoStrings("", "a")) {
+		t.Fatal("a^w must be accepted by (a*)^w")
+	}
+	if b.AcceptsLasso(word.MustLassoStrings("", "b")) {
+		t.Fatal("b^w must be rejected by (a*)^w despite the ε-cycle at the anchor")
+	}
+}

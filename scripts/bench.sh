@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Benchmark harness for the lazy exploration layer (PR 4).
+# Benchmark harness for the automaton kernel and lazy exploration layers
+# (PR 5).
 #
 # Runs the curated benchmark set — the BenchmarkLazy* eager-vs-lazy
-# families over the product-heavy generators in internal/gen, plus the
-# pipeline benchmarks that exercise containment/equivalence and the
-# model checker end to end — and converts the output into a JSON
-# snapshot via cmd/benchjson, which also enforces the lazy-vs-eager
-# gate: on the shallow-witness families, the lazy path must materialize
-# at most half the states the eager oracle does.
+# families and the BenchmarkAlloc* allocation benchmarks over the
+# product-heavy generators in internal/gen, plus the pipeline benchmarks
+# that exercise containment/equivalence and the model checker end to end
+# — and converts the output into a JSON snapshot via cmd/benchjson,
+# which also enforces the lazy-vs-eager gate: on the shallow-witness
+# families, the lazy path must materialize at most half the states the
+# eager oracle does.
 #
 #   scripts/bench.sh          full run: real benchtime, ns gate, writes
-#                             BENCH_pr4.json, and fails on ns/op
-#                             regression against the committed snapshot
+#                             BENCH_pr5.json, and fails on >20% ns/op or
+#                             allocs/op regression against the previous
+#                             snapshot (BENCH_pr4.json)
 #   scripts/bench.sh -quick   smoke run (benchtime=1x): each benchmark
 #                             executes once and only the deterministic
 #                             states/op gate is enforced — this is what
@@ -24,8 +27,9 @@ if [ "${1:-}" = "-quick" ]; then
     MODE=quick
 fi
 
-SNAP=BENCH_pr4.json
-CURATED='^(BenchmarkLazy|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
+SNAP=BENCH_pr5.json
+PREV=BENCH_pr4.json
+CURATED='^(BenchmarkLazy|BenchmarkAlloc|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -34,7 +38,7 @@ if [ "$MODE" = "quick" ]; then
     go test -run '^$' -bench "$CURATED" -benchtime 1x -benchmem . > "$tmp/bench.txt"
     # 1x timings are noise: enforce only the deterministic states/op
     # contract and write the snapshot to a scratch path.
-    go run ./cmd/benchjson -pr pr4-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
+    go run ./cmd/benchjson -pr pr5-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
     echo "bench smoke ok"
     exit 0
 fi
@@ -42,10 +46,13 @@ fi
 echo "== bench (full) =="
 go test -run '^$' -bench "$CURATED" -benchtime 50x -benchmem -count 3 . | tee "$tmp/bench.txt"
 
-args=(-pr pr4 -i "$tmp/bench.txt" -o "$tmp/bench.json" -ns-gate)
+args=(-pr pr5 -i "$tmp/bench.txt" -o "$tmp/bench.json" -ns-gate)
 if [ -f "$SNAP" ]; then
-    # Gate against the committed snapshot before replacing it.
-    args+=(-compare "$SNAP" -tolerance 0.5)
+    # Re-runs gate against the committed pr5 snapshot before replacing it.
+    args+=(-compare "$SNAP" -tolerance 0.2)
+elif [ -f "$PREV" ]; then
+    # First pr5 run gates against the previous PR's snapshot.
+    args+=(-compare "$PREV" -tolerance 0.2)
 fi
 go run ./cmd/benchjson "${args[@]}"
 mv "$tmp/bench.json" "$SNAP"

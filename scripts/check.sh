@@ -44,6 +44,29 @@ cov_floor() { # package, floor (integer percent)
 }
 cov_floor ./internal/omega/ 84
 cov_floor ./internal/core/ 76
+cov_floor ./internal/autkern/ 89
+cov_floor ./internal/dfa/ 90
+cov_floor ./internal/mc/ 87
+
+# Graph-algorithm lint: SCC decomposition, reachability closures and
+# state-pair/key interning live in internal/autkern only. A new Tarjan
+# (lowlink bookkeeping), a hand-rolled reverse-reachability stack, or an
+# ad-hoc `index := map[...]int` interner anywhere else reintroduces the
+# duplication this kernel removed.
+echo "== autkern lint =="
+lint_fail=0
+hits=$(grep -rn --include='*.go' -e 'onStack' -e 'lowlink'     internal cmd ./*.go | grep -v '^internal/autkern/' || true)
+if [ -n "$hits" ]; then
+    echo "SCC implementation outside internal/autkern (use autkern.SCCs*/CyclicFunc):" >&2
+    echo "$hits" >&2; lint_fail=1
+fi
+hits=$(grep -rn --include='*.go' -e 'index := map\[' -e 'map\[\[2\]int\]'     internal cmd ./*.go | grep -v '^internal/autkern/' | grep -v '_test\.go:' || true)
+if [ -n "$hits" ]; then
+    echo "ad-hoc interner outside internal/autkern (use autkern.PairInterner/KeyInterner/Interner):" >&2
+    echo "$hits" >&2; lint_fail=1
+fi
+[ "$lint_fail" -eq 0 ] || exit 1
+echo "autkern lint ok"
 
 # Benchmark smoke: every benchmark must still run (one iteration each),
 # and bench.sh's quick mode enforces the deterministic lazy-vs-eager
