@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestClassifyStats drives the full pipeline through the CLI entry point
@@ -102,5 +104,93 @@ func TestClassifyAutomatonFileError(t *testing.T) {
 	}
 	if !strings.Contains(msg, "line 4") {
 		t.Errorf("error %q does not cite the offending line", msg)
+	}
+}
+
+// canonicalMetrics is the dashboard contract: the metric names operators
+// alert on. A rename here is a breaking change for every scrape config
+// and must show up as a test diff, not a silently empty panel.
+var canonicalMetrics = []string{
+	"engine.classify.calls",
+	"engine.compile.calls",
+	"engine.cache.hits",
+	"engine.cache.misses",
+	"engine.cache.evictions",
+	"engine.batch.calls",
+	"engine.panics.recovered",
+	"budget.exceeded",
+	"omega.lazy.states_materialized",
+	"omega.lazy.early_exits",
+	"omega.lazy.max_states",
+	"omega.product.states",
+	"omega.emptiness.checks",
+	"compile.formula.calls",
+	"classify.automaton.calls",
+	"autkern.scc.runs",
+	"mc.verify.calls",
+	"mc.refine.rounds",
+	"mc.lazy.nodes_materialized",
+	"dfa.product.states",
+	"compile.past2dfa.calls",
+}
+
+// TestCanonicalMetricNamesRegistered guards the names at the registry:
+// every canonical metric must exist in the default registry once the
+// packages are linked in, whatever values they hold.
+func TestCanonicalMetricNamesRegistered(t *testing.T) {
+	for _, name := range canonicalMetrics {
+		if !obs.Default().Has(name) {
+			t.Errorf("metric %q not registered (renamed or deleted?)", name)
+		}
+	}
+}
+
+// TestStatsOutputCarriesEngineCounters is the -stats golden: a normal
+// engine-path run must report the engine and compile counter families
+// with non-zero values in the metrics section.
+func TestStatsOutputCarriesEngineCounters(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", "G (p -> F q)"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	report := stderr.String()
+	for _, name := range []string{
+		"engine.classify.calls",
+		"engine.compile.calls",
+		"engine.cache.misses",
+		"compile.past2dfa.calls",
+		"classify.automaton.calls",
+		"autkern.scc.runs",
+	} {
+		if !strings.Contains(report, name) {
+			t.Errorf("-stats output missing counter %q:\n%s", name, report)
+		}
+	}
+}
+
+// TestStatsOutputCarriesBudgetCounter: a budget-capped run errors, but
+// the stats epilogue still runs and must name budget.exceeded so the
+// operator sees what tripped.
+func TestStatsOutputCarriesBudgetCounter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-stats", "-budget", "1",
+		"(G F a -> G F b) & (G F c -> G F d) & (G F e -> G F f)"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("want budget-exceeded error")
+	}
+	if !strings.Contains(stderr.String(), "budget.exceeded") {
+		t.Errorf("-stats output missing budget.exceeded after capped run:\n%s", stderr.String())
+	}
+}
+
+// TestStatsOutputCarriesLazyCounters: a containment query through the
+// lazy product path must surface omega.lazy.* in the metrics section.
+func TestStatsOutputCarriesLazyCounters(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", "-op", "A", "-regex", "a*b", "-alphabet", "ab"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "omega.") {
+		t.Errorf("-stats output missing omega counters:\n%s", stderr.String())
 	}
 }

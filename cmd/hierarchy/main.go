@@ -29,7 +29,7 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	finish, err := obs.Setup(*stats, *tracePath, os.Stderr)
+	finish, err := obs.Setup(obs.Config{Stats: *stats, TracePath: *tracePath}, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hierarchy:", err)
 		return 2

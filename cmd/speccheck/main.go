@@ -26,6 +26,7 @@ import (
 
 	temporal "repro"
 	"repro/internal/obs"
+	"repro/internal/obshttp"
 )
 
 func main() {
@@ -52,14 +53,33 @@ func run(args []string) (code int, err error) {
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
 	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
 	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
+	slowOp := fs.Duration("slow-op", 0, "log spans at or above this duration as JSONL to stderr (0 = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	finish, err := obs.Setup(*stats, *tracePath, os.Stderr)
+	finish, err := obs.Setup(obs.Config{
+		Stats:     *stats,
+		TracePath: *tracePath,
+		SlowOp:    *slowOp,
+		SlowOpW:   os.Stderr,
+	}, os.Stderr)
 	if err != nil {
 		return 0, err
 	}
+	if *metricsAddr != "" {
+		addr, err := obshttp.Listen(*metricsAddr, nil)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
+	}
 	ctx := context.Background()
+	if obs.Enabled() {
+		// One CLI invocation is one trace: mint the id up front so every
+		// engine request of the run shares it in the JSONL records.
+		ctx, _ = obs.EnsureTraceID(ctx)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -99,7 +99,7 @@ func PastToDFAOverAlphabetCtx(ctx context.Context, p ltl.Formula, alpha *alphabe
 }
 
 func pastToDFAOver(ctx context.Context, p ltl.Formula, alpha *alphabet.Alphabet, capStates int) (*dfa.DFA, error) {
-	sp := obs.Start("compile.past2dfa").Stringer("formula", p).Int("alphabet", alpha.Size())
+	sp := obs.StartIn(ctx, "compile.past2dfa").Stringer("formula", p).Int("alphabet", alpha.Size())
 	defer sp.End()
 	cntPastDFACalls.Inc()
 

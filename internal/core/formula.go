@@ -1041,7 +1041,7 @@ func CompileFormulaOver(f ltl.Formula, alpha *alphabet.Alphabet, props []string)
 // CompileFormulaOverCtx is CompileFormulaOver with cooperative
 // cancellation.
 func CompileFormulaOverCtx(ctx context.Context, f ltl.Formula, alpha *alphabet.Alphabet, props []string) (*omega.Automaton, error) {
-	sp := obs.Start("compile.formula").Stringer("formula", f).Int("alphabet", alpha.Size())
+	sp := obs.StartIn(ctx, "compile.formula").Stringer("formula", f).Int("alphabet", alpha.Size())
 	defer sp.End()
 	cntFormulasCompiled.Inc()
 	nf, err := Normalize(f)

@@ -28,7 +28,7 @@ func (d *DFA) Minimize() *DFA {
 // minimizing a huge automaton under a step cap aborts with
 // budget.ErrBudgetExceeded.
 func (d *DFA) MinimizeCtx(ctx context.Context) (*DFA, error) {
-	sp := obs.Start("dfa.minimize").Int("in_states", d.NumStates())
+	sp := obs.StartIn(ctx, "dfa.minimize").Int("in_states", d.NumStates())
 	defer sp.End()
 	t := d.Trim()
 	n := t.NumStates()

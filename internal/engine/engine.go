@@ -206,11 +206,13 @@ func (e *Engine) fanOut(ctx context.Context, tasks ...func() error) error {
 // recovery boundary converting internal panics into *InternalError.
 func (e *Engine) ClassifyAutomaton(ctx context.Context, a *omega.Automaton) (core.Classification, error) {
 	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "ClassifyAutomaton")
 	var c core.Classification
 	err := capture("ClassifyAutomaton", func() (err error) {
 		c, err = e.classifyAutomaton(ctx, a)
 		return
 	})
+	done(&err)
 	if err != nil {
 		return core.Classification{}, wrapErr(err)
 	}
@@ -224,7 +226,7 @@ func (e *Engine) classifyAutomaton(ctx context.Context, a *omega.Automaton) (cor
 	cntClassify.Inc()
 	// Same stage name as the sequential core path: the obs stage taxonomy
 	// stays stable whichever execution layer ran the classification.
-	sp := obs.Start("classify.automaton").Int("states", a.NumStates()).Int("pairs", a.NumPairs())
+	sp := obs.StartIn(ctx, "classify.automaton").Int("states", a.NumStates()).Int("pairs", a.NumPairs())
 	defer sp.End()
 	key := "classify|" + a.StructuralKey()
 	if v, ok := e.cacheGet(key); ok {
@@ -283,11 +285,13 @@ func resolveProps(f ltl.Formula, props []string) []string {
 // recovery boundary converting internal panics into *InternalError.
 func (e *Engine) CompileFormula(ctx context.Context, f ltl.Formula, props []string) (*omega.Automaton, error) {
 	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "CompileFormula")
 	var a *omega.Automaton
 	err := capture("CompileFormula", func() (err error) {
 		a, err = e.compileFormula(ctx, f, props)
 		return
 	})
+	done(&err)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -301,7 +305,7 @@ func (e *Engine) compileFormula(ctx context.Context, f ltl.Formula, props []stri
 	cntCompile.Inc()
 	props = resolveProps(f, props)
 	propsKey := strings.Join(props, "\x1f")
-	sp := obs.Start("compile.formula").Stringer("formula", f)
+	sp := obs.StartIn(ctx, "compile.formula").Stringer("formula", f)
 	defer sp.End()
 	key := "compile|" + propsKey + "|" + f.String()
 	if v, ok := e.cacheGet(key); ok {
@@ -359,11 +363,15 @@ func (e *Engine) compileFormula(ctx context.Context, f ltl.Formula, props []stri
 // per-request budget.
 func (e *Engine) ClassifyFormula(ctx context.Context, f ltl.Formula, props []string) (core.Classification, error) {
 	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "ClassifyFormula")
 	a, err := e.CompileFormula(ctx, f, props)
 	if err != nil {
+		done(&err)
 		return core.Classification{}, err
 	}
-	return e.ClassifyAutomaton(ctx, a)
+	c, err := e.ClassifyAutomaton(ctx, a)
+	done(&err)
+	return c, err
 }
 
 // containsResult is the memoized value of a containment query.
@@ -378,6 +386,7 @@ type containsResult struct {
 // boundary like ClassifyAutomaton.
 func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
 	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "Contains")
 	var (
 		ok bool
 		w  word.Lasso
@@ -386,6 +395,7 @@ func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, wor
 		ok, w, err = e.contains(ctx, a, b)
 		return
 	})
+	done(&err)
 	if err != nil {
 		return false, word.Lasso{}, wrapErr(err)
 	}
@@ -414,11 +424,15 @@ func (e *Engine) contains(ctx context.Context, a, b *omega.Automaton) (bool, wor
 // budget.
 func (e *Engine) Equivalent(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
 	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "Equivalent")
 	ok, w, err := e.Contains(ctx, a, b)
 	if err != nil || !ok {
+		done(&err)
 		return ok, w, err
 	}
-	return e.Contains(ctx, b, a)
+	ok, w, err = e.Contains(ctx, b, a)
+	done(&err)
+	return ok, w, err
 }
 
 // Canonicalize rewrites the automaton into the paper's normal form for
@@ -429,11 +443,13 @@ func (e *Engine) Equivalent(ctx context.Context, a, b *omega.Automaton) (bool, w
 // engine's budget and recovery boundary like ClassifyAutomaton.
 func (e *Engine) Canonicalize(ctx context.Context, a *omega.Automaton, cl core.Class) (*omega.Automaton, error) {
 	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "Canonicalize")
 	var res *omega.Automaton
 	err := capture("Canonicalize", func() (err error) {
 		res, err = e.canonicalize(ctx, a, cl)
 		return
 	})
+	done(&err)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -516,7 +532,7 @@ func requestKey(r Request) (string, error) {
 // rest of the batch completes normally.
 func (e *Engine) Batch(ctx context.Context, reqs []Request) []Result {
 	cntBatch.Inc()
-	sp := obs.Start("engine.batch").Int("items", len(reqs))
+	sp := obs.StartIn(ctx, "engine.batch").Int("items", len(reqs))
 	defer sp.End()
 	results := make([]Result, len(reqs))
 
@@ -575,6 +591,10 @@ func (e *Engine) Batch(ctx context.Context, reqs []Request) []Result {
 // the whole item so an injected or real panic poisons only this item.
 func (e *Engine) runRequest(ctx context.Context, r Request) Result {
 	ctx = e.withBudget(ctx)
+	// Each deduplicated item is one traced request: its envelope mints a
+	// fresh TraceID (Batch itself stays outside the per-item envelopes),
+	// so per-item slow-op records are individually correlatable.
+	ctx, done := e.startRequest(ctx, "Batch.item")
 	var res Result
 	err := capture("Batch.item", func() error {
 		if err := fault.Hit(fault.SiteEngineBatch); err != nil {
@@ -584,8 +604,9 @@ func (e *Engine) runRequest(ctx context.Context, r Request) Result {
 		return nil
 	})
 	if err != nil {
-		return Result{Err: wrapErr(err)}
+		res = Result{Err: wrapErr(err)}
 	}
+	done(&res.Err)
 	return res
 }
 

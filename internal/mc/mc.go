@@ -11,6 +11,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -65,7 +66,16 @@ type Result struct {
 // automaton when ¬f is outside the normalizable fragment), and the fair
 // product is checked for emptiness.
 func Verify(sys *ts.System, f ltl.Formula) (Result, error) {
-	sp := obs.Start("mc.verify").Stringer("formula", f).Int("sys_states", sys.NumStates())
+	return VerifyCtx(context.Background(), sys, f)
+}
+
+// VerifyCtx is Verify with the caller's context threaded into the root
+// span, so a verification launched inside an engine request inherits its
+// TraceID even when it runs on a worker goroutine. The inner stages
+// (negation, product, search, refinement) nest under this span and
+// inherit the trace implicitly.
+func VerifyCtx(ctx context.Context, sys *ts.System, f ltl.Formula) (Result, error) {
+	sp := obs.StartIn(ctx, "mc.verify").Stringer("formula", f).Int("sys_states", sys.NumStates())
 	defer sp.End()
 	cntVerifyCalls.Inc()
 	props := unionProps(sys, f)

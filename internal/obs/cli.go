@@ -4,44 +4,70 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // maxStatsRoots bounds how many root span trees -stats retains; the
 // stage summary and counters still cover the whole run.
 const maxStatsRoots = 4096
 
-// Setup wires the standard CLI observability flags shared by the three
-// command-line tools: stats (print the span tree, per-stage summary and
-// counter table to statsW when the run finishes) and tracePath (stream
-// every span as JSON lines to that file, plus a final metric line per
-// counter). It returns a finish function that must be called once after
-// the instrumented work; finish detaches the sinks, emits the reports,
-// and returns any trace-write error.
+// Config is the CLI observability configuration shared by the
+// command-line tools, wiring the standard flags:
 //
-// When both stats is false and tracePath is empty, Setup attaches
-// nothing and finish is a cheap no-op.
-func Setup(stats bool, tracePath string, statsW io.Writer) (finish func() error, err error) {
-	if !stats && tracePath == "" {
+//   - Stats: print the span tree, per-stage summary and counter table
+//     to the stats writer when the run finishes (-stats);
+//   - TracePath: stream every span as JSON lines to that file, plus a
+//     final metric line per counter (-trace);
+//   - SlowOp: emit a structured JSONL record for any span at least this
+//     long (-slow-op), to SlowOpW (the stats writer when nil).
+type Config struct {
+	Stats     bool
+	TracePath string
+	SlowOp    time.Duration
+	SlowOpW   io.Writer
+}
+
+// enabled reports whether any sink needs attaching.
+func (c Config) enabled() bool {
+	return c.Stats || c.TracePath != "" || c.SlowOp > 0
+}
+
+// Setup attaches the sinks the config asks for and returns a finish
+// function that must be called once after the instrumented work; finish
+// detaches the sinks, emits the reports, and returns any trace-write
+// error. When the config enables nothing, Setup attaches nothing and
+// finish is a cheap no-op.
+func Setup(cfg Config, statsW io.Writer) (finish func() error, err error) {
+	if !cfg.enabled() {
 		return func() error { return nil }, nil
 	}
 	ResetMetrics()
 	var sinks []Sink
 	var collector *Collector
 	var summary *StageSummary
-	if stats {
+	if cfg.Stats {
 		collector = &Collector{MaxRoots: maxStatsRoots}
 		summary = NewStageSummary()
 		sinks = append(sinks, collector, summary)
 	}
 	var traceFile *os.File
 	var jsonl *JSONLSink
-	if tracePath != "" {
-		traceFile, err = os.Create(tracePath)
+	if cfg.TracePath != "" {
+		traceFile, err = os.Create(cfg.TracePath)
 		if err != nil {
 			return nil, err
 		}
 		jsonl = NewJSONLSink(traceFile)
 		sinks = append(sinks, jsonl)
+	}
+	var slow *SlowOpSink
+	if cfg.SlowOp > 0 {
+		w := cfg.SlowOpW
+		if w == nil {
+			w = statsW
+		}
+		slow = NewSlowOpSink(w, cfg.SlowOp)
+		sinks = append(sinks, slow)
 	}
 	Attach(sinks...)
 	return func() error {
@@ -54,13 +80,19 @@ func Setup(stats bool, tracePath string, statsW io.Writer) (finish func() error,
 			fmt.Fprintln(statsW, "── metrics ────────────────────────────────────")
 			WriteMetrics(statsW)
 		}
+		var err error
 		if jsonl != nil {
-			err := jsonl.WriteMetrics()
+			err = jsonl.WriteMetrics()
+			if cerr := jsonl.Close(); err == nil {
+				err = cerr
+			}
 			if cerr := traceFile.Close(); err == nil {
 				err = cerr
 			}
-			return err
 		}
-		return nil
+		if slow != nil && err == nil {
+			err = slow.Err()
+		}
+		return err
 	}, nil
 }

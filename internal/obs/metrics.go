@@ -2,24 +2,28 @@ package obs
 
 import (
 	"math/bits"
-	"sort"
-	"sync"
 	"sync/atomic"
 )
 
-// Counters, gauges and histograms are process-wide named metrics behind
-// plain atomic operations: instrumented code updates them unconditionally
-// (an uncontended atomic add), and sinks read consistent snapshots. The
-// lookup cost is paid once, at package init, by holding the returned
-// pointer in a package-level var:
+// Counters, gauges and histograms are named metrics behind plain atomic
+// operations: instrumented code updates them unconditionally (an
+// uncontended atomic add), and sinks read consistent snapshots. Metrics
+// live in a Registry — the package-level constructors register into the
+// process-global Default() registry, and the lookup cost is paid once,
+// at package init, by holding the returned pointer in a package-level
+// var:
 //
 //	var cntProductStates = obs.NewCounter("omega.product.states")
 
 // Counter is a monotone event counter.
 type Counter struct {
-	name string
-	v    atomic.Int64
+	name   string
+	labels []Label
+	v      atomic.Int64
 }
+
+// Name returns the counter's registered name (without labels).
+func (c *Counter) Name() string { return c.name }
 
 // Add increments the counter by d.
 func (c *Counter) Add(d int64) { c.v.Add(d) }
@@ -32,9 +36,13 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a last-value (or running-maximum) metric.
 type Gauge struct {
-	name string
-	v    atomic.Int64
+	name   string
+	labels []Label
+	v      atomic.Int64
 }
+
+// Name returns the gauge's registered name (without labels).
+func (g *Gauge) Name() string { return g.name }
 
 // Set stores v.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
@@ -58,11 +66,15 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // == i, i.e. 0, 1, 2–3, 4–7, … — O(1) to observe, compact to export.
 type Histogram struct {
 	name    string
+	labels  []Label
 	count   atomic.Int64
 	sum     atomic.Int64
 	max     atomic.Int64
 	buckets [65]atomic.Int64
 }
+
+// Name returns the histogram's registered name (without labels).
+func (h *Histogram) Name() string { return h.name }
 
 // Observe records one value (negative values clamp to zero).
 func (h *Histogram) Observe(v int64) {
@@ -113,106 +125,35 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
-var registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-}
-
 // NewCounter returns the process-wide counter with the given name,
-// creating it on first use.
-func NewCounter(name string) *Counter {
-	registry.mu.Lock()
-	defer registry.mu.Unlock()
-	if registry.counters == nil {
-		registry.counters = map[string]*Counter{}
-	}
-	c, ok := registry.counters[name]
-	if !ok {
-		c = &Counter{name: name}
-		registry.counters[name] = c
-	}
-	return c
-}
+// creating it on first use. It registers into Default().
+func NewCounter(name string) *Counter { return defaultRegistry.Counter(name) }
 
 // NewGauge returns the process-wide gauge with the given name.
-func NewGauge(name string) *Gauge {
-	registry.mu.Lock()
-	defer registry.mu.Unlock()
-	if registry.gauges == nil {
-		registry.gauges = map[string]*Gauge{}
-	}
-	g, ok := registry.gauges[name]
-	if !ok {
-		g = &Gauge{name: name}
-		registry.gauges[name] = g
-	}
-	return g
-}
+func NewGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
 
 // NewHistogram returns the process-wide histogram with the given name.
-func NewHistogram(name string) *Histogram {
-	registry.mu.Lock()
-	defer registry.mu.Unlock()
-	if registry.hists == nil {
-		registry.hists = map[string]*Histogram{}
-	}
-	h, ok := registry.hists[name]
-	if !ok {
-		h = &Histogram{name: name}
-		registry.hists[name] = h
-	}
-	return h
-}
+func NewHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
 
 // MetricValue is one flat, CSV-friendly metric snapshot row.
 type MetricValue struct {
-	Name  string
-	Kind  string // "counter", "gauge" or "histogram"
-	Value int64  // counter/gauge value; histogram sum
-	Count int64  // histogram observation count (0 otherwise)
-	Max   int64  // histogram maximum observation (0 otherwise)
+	Name    string
+	Labels  []Label  // optional, sorted by key
+	Kind    string   // "counter", "gauge" or "histogram"
+	Value   int64    // counter/gauge value; histogram sum
+	Count   int64    // histogram observation count (0 otherwise)
+	Max     int64    // histogram maximum observation (0 otherwise)
+	Buckets []Bucket // histogram non-empty buckets (nil otherwise)
 }
 
-// Snapshot returns every registered metric, sorted by name.
-func Snapshot() []MetricValue {
-	registry.mu.Lock()
-	defer registry.mu.Unlock()
-	var out []MetricValue
-	for name, c := range registry.counters {
-		out = append(out, MetricValue{Name: name, Kind: "counter", Value: c.Value()})
-	}
-	for name, g := range registry.gauges {
-		out = append(out, MetricValue{Name: name, Kind: "gauge", Value: g.Value()})
-	}
-	for name, h := range registry.hists {
-		out = append(out, MetricValue{
-			Name: name, Kind: "histogram",
-			Value: h.Sum(), Count: h.Count(), Max: h.MaxValue(),
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+// FullName renders name{k="v",…}, or just the name when unlabeled.
+func (m MetricValue) FullName() string { return fullName(m.Name, m.Labels) }
 
-// ResetMetrics zeroes every registered metric (between CLI runs and in
-// tests; the registry itself is kept so held pointers stay valid).
-func ResetMetrics() {
-	registry.mu.Lock()
-	defer registry.mu.Unlock()
-	for _, c := range registry.counters {
-		c.v.Store(0)
-	}
-	for _, g := range registry.gauges {
-		g.v.Store(0)
-	}
-	for _, h := range registry.hists {
-		h.count.Store(0)
-		h.sum.Store(0)
-		h.max.Store(0)
-		for i := range h.buckets {
-			h.buckets[i].Store(0)
-		}
-	}
-}
+// Snapshot returns every metric of the Default() registry, sorted by
+// full name.
+func Snapshot() []MetricValue { return defaultRegistry.Snapshot() }
+
+// ResetMetrics zeroes every metric of the Default() registry (between
+// CLI runs and in tests; the registry itself is kept so held pointers
+// stay valid).
+func ResetMetrics() { defaultRegistry.Reset() }

@@ -55,6 +55,7 @@ func (a Attr) String() string { return a.Key + "=" + a.ValueString() }
 // instrumented code never needs to branch on Enabled.
 type Span struct {
 	Name     string
+	TraceID  TraceID // request correlation id; inherited from the parent span
 	Began    time.Time
 	Duration time.Duration
 	Attrs    []Attr
@@ -176,6 +177,7 @@ func Start(name string) *Span {
 	st.mu.Lock()
 	if n := len(st.stack); n > 0 {
 		s.parent = st.stack[n-1]
+		s.TraceID = s.parent.TraceID
 	}
 	st.stack = append(st.stack, s)
 	st.mu.Unlock()
@@ -237,9 +239,25 @@ func FromContext(ctx context.Context) *Span {
 	return s
 }
 
-// StartCtx starts a span and returns a derived context carrying it, for
-// call chains that already propagate a context.
-func StartCtx(ctx context.Context, name string) (context.Context, *Span) {
+// StartIn starts a span like Start and stamps it with the context's
+// trace id. The implicit-stack parenting already propagates trace ids on
+// the synchronous path; StartIn is for sites reached from worker
+// goroutines, where the stack top may belong to a different concurrent
+// request — the context is the authoritative carrier there.
+func StartIn(ctx context.Context, name string) *Span {
 	s := Start(name)
+	if s != nil {
+		if id := TraceIDFrom(ctx); id != "" {
+			s.TraceID = id
+		}
+	}
+	return s
+}
+
+// StartCtx starts a span (stamped with the context's trace id, as
+// StartIn) and returns a derived context carrying it, for call chains
+// that already propagate a context.
+func StartCtx(ctx context.Context, name string) (context.Context, *Span) {
+	s := StartIn(ctx, name)
 	return WithSpan(ctx, s), s
 }

@@ -250,6 +250,10 @@ func TestJSONLSink(t *testing.T) {
 	if err := j.Err(); err != nil {
 		t.Fatal(err)
 	}
+	// Output is buffered; Close flushes it to the writer.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) < 3 {
@@ -293,7 +297,7 @@ func TestSetupStatsAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "trace.jsonl")
 	var stats bytes.Buffer
-	finish, err := Setup(true, trace, &stats)
+	finish, err := Setup(Config{Stats: true, TracePath: trace}, &stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +327,7 @@ func TestSetupStatsAndTrace(t *testing.T) {
 	}
 
 	// The disabled form must be a no-op.
-	finish, err = Setup(false, "", &stats)
+	finish, err = Setup(Config{}, &stats)
 	if err != nil || finish() != nil {
 		t.Fatal("no-op Setup failed")
 	}

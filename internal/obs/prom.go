@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus writes every metric of the registry in the Prometheus
+// text exposition format (version 0.0.4), the format scraped from
+// /metrics. Dotted metric names map to underscore form
+// (engine.cache.hits → engine_cache_hits); labeled metrics of one name
+// share a single TYPE header; histograms are exposed with cumulative
+// le-buckets ending in +Inf plus _sum and _count series, as scrapers
+// require. Zero-valued metrics are exposed (a counter that exists but
+// has not fired is a fact worth scraping).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	// Group rows by exposed name so a labeled family gets one TYPE line.
+	sort.SliceStable(snap, func(i, j int) bool {
+		if snap[i].Name != snap[j].Name {
+			return snap[i].Name < snap[j].Name
+		}
+		return snap[i].FullName() < snap[j].FullName()
+	})
+	prevName := ""
+	for _, m := range snap {
+		name := PromName(m.Name)
+		if m.Name != prevName {
+			kind := m.Kind // "counter", "gauge", "histogram" match Prometheus types
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
+				return err
+			}
+			prevName = m.Name
+		}
+		var err error
+		if m.Kind == "histogram" {
+			err = writePromHistogram(w, name, m)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%s %d\n", name, promLabels(m.Labels, ""), m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram exposes one histogram row: cumulative bucket counts
+// at the power-of-two upper bounds that are populated, a +Inf bucket
+// carrying the total count, and the _sum/_count series.
+func writePromHistogram(w io.Writer, name string, m MetricValue) error {
+	cum := int64(0)
+	for _, b := range m.Buckets {
+		cum += b.Count
+		le := fmt.Sprintf("%d", b.Upper)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(m.Labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(m.Labels, "+Inf"), m.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(m.Labels, ""), m.Value); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(m.Labels, ""), m.Count)
+	return err
+}
+
+// promLabels renders the {k="v",…} label block, appending the le label
+// when non-empty; it returns "" for no labels at all.
+func promLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(PromName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// PromName maps a dotted metric or label name onto the Prometheus
+// identifier charset [a-zA-Z0-9_:]: dots (and any other invalid rune)
+// become underscores, and a leading digit gets an underscore prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !valid {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

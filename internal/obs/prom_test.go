@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromHistogramExposition pins the histogram wire format against a
+// hand-written expectation: cumulative le-buckets at the populated
+// power-of-two bounds, a +Inf bucket equal to the total count, and
+// _sum/_count series. A scraper parses exactly this shape; emitting
+// per-bucket (non-cumulative) counts or omitting +Inf silently corrupts
+// quantile math, so the full text is asserted verbatim.
+func TestPromHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mc.refine.component_size")
+	for _, v := range []int64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	// Buckets touched: len(0)=0 → le 0; len(1)=1 → le 1; len(2)=2 → le 3;
+	// len(5)=3 → le 7; len(100)=7 → le 127. Cumulative: 1,2,3,4,5.
+	want := `# TYPE mc_refine_component_size histogram
+mc_refine_component_size_bucket{le="0"} 1
+mc_refine_component_size_bucket{le="1"} 2
+mc_refine_component_size_bucket{le="3"} 3
+mc_refine_component_size_bucket{le="7"} 4
+mc_refine_component_size_bucket{le="127"} 5
+mc_refine_component_size_bucket{le="+Inf"} 5
+mc_refine_component_size_sum 108
+mc_refine_component_size_count 5
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("histogram exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestPromEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty.hist")
+	want := `# TYPE empty_hist histogram
+empty_hist_bucket{le="+Inf"} 0
+empty_hist_sum 0
+empty_hist_count 0
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("empty histogram:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestPromCountersGaugesAndLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.cache.hits").Add(42)
+	r.Counter("temporald.responses", Label{"code", "200"}).Add(7)
+	r.Counter("temporald.responses", Label{"code", "400"}).Add(2)
+	r.Gauge("omega.lazy.max_states").Set(64)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE engine_cache_hits counter\nengine_cache_hits 42\n",
+		"# TYPE omega_lazy_max_states gauge\nomega_lazy_max_states 64\n",
+		"temporald_responses{code=\"200\"} 7\n",
+		"temporald_responses{code=\"400\"} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with two labeled children.
+	if strings.Count(out, "# TYPE temporald_responses counter") != 1 {
+		t.Errorf("labeled family must share one TYPE line:\n%s", out)
+	}
+	// Zero-valued metrics are exposed.
+	r2 := NewRegistry()
+	r2.Counter("never.fired")
+	var b2 strings.Builder
+	if err := r2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "never_fired 0\n") {
+		t.Errorf("zero counter must still be exposed:\n%s", b2.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"engine.cache.hits": "engine_cache_hits",
+		"already_fine":      "already_fine",
+		"has-dash":          "has_dash",
+		"9lives":            "_9lives",
+		"a:b":               "a:b",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	if got := promEscape("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("promEscape = %q", got)
+	}
+}

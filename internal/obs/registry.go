@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry owns a set of named metrics. The package-level constructors
+// (NewCounter, NewGauge, NewHistogram) register into the process-global
+// Default registry — the right choice for the pipeline's own
+// instrumentation, whose counters must be shared by every engine in the
+// process — while tests and embedders that need isolation construct
+// their own with NewRegistry and register through its methods.
+//
+// Metrics are identified by name plus an optional, order-insensitive
+// label set; asking twice for the same identity returns the same metric.
+// Naming and cardinality rules (DESIGN.md §10): names are lowercase
+// dot-separated `layer.component.event` paths, and label values must
+// come from small bounded sets (an HTTP status code, an engine
+// operation) — never from request payloads, formulas or trace ids, which
+// would grow the registry without bound.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, independent registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry backs the package-level constructors. It exists from
+// init, so package-level metric vars register during their package's
+// initialization regardless of order.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry that the package-level
+// constructors register into.
+func Default() *Registry { return defaultRegistry }
+
+// Label is one key/value pair qualifying a metric ("code"="200").
+type Label struct {
+	Key   string
+	Value string
+}
+
+// canonLabels returns the labels sorted by key in a fresh slice, so the
+// identity of a metric does not depend on argument order and callers
+// cannot mutate a registered metric's labels through their own slice.
+func canonLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// metricID is the registry key: the name plus the canonical label
+// rendering. \xff cannot occur in sane names or label text, so distinct
+// identities cannot collide.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('\xff')
+		b.WriteString(l.Key)
+		b.WriteByte('\xfe')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// fullName renders name{k="v",…} for the flat text/JSONL surfaces, or
+// just the name when unlabeled.
+func fullName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the registry's counter with the given name and labels,
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	labels = canonLabels(labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		c = &Counter{name: name, labels: labels}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns the registry's gauge with the given name and labels,
+// creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	labels = canonLabels(labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		g = &Gauge{name: name, labels: labels}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns the registry's histogram with the given name and
+// labels, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	labels = canonLabels(labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[id]
+	if !ok {
+		h = &Histogram{name: name, labels: labels}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// Snapshot returns every registered metric of the registry, sorted by
+// full name. Histogram rows carry their non-empty buckets, so encoders
+// (the Prometheus exposition, /debug/vars) need no further access to the
+// live metric.
+func (r *Registry) Snapshot() []MetricValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counters {
+		out = append(out, MetricValue{
+			Name: c.name, Labels: c.labels, Kind: "counter", Value: c.Value(),
+		})
+	}
+	for _, g := range r.gauges {
+		out = append(out, MetricValue{
+			Name: g.name, Labels: g.labels, Kind: "gauge", Value: g.Value(),
+		})
+	}
+	for _, h := range r.hists {
+		out = append(out, MetricValue{
+			Name: h.name, Labels: h.labels, Kind: "histogram",
+			Value: h.Sum(), Count: h.Count(), Max: h.MaxValue(),
+			Buckets: h.Buckets(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// Reset zeroes every registered metric (between CLI runs and in tests;
+// the registry itself is kept so held pointers stay valid).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.max.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// Has reports whether a metric with the given name (any label set) is
+// registered — the rename guard used by the dashboard-contract tests.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		if c.name == name {
+			return true
+		}
+	}
+	for _, g := range r.gauges {
+		if g.name == name {
+			return true
+		}
+	}
+	for _, h := range r.hists {
+		if h.name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.calls")
+	b := r.Counter("x.calls")
+	if a != b {
+		t.Error("same name must return the same counter")
+	}
+	// Label order must not matter; different values must split.
+	l1 := r.Counter("x.code", Label{"code", "200"}, Label{"op", "classify"})
+	l2 := r.Counter("x.code", Label{"op", "classify"}, Label{"code", "200"})
+	l3 := r.Counter("x.code", Label{"code", "500"}, Label{"op", "classify"})
+	if l1 != l2 {
+		t.Error("label order must not change identity")
+	}
+	if l1 == l3 {
+		t.Error("different label values must be distinct metrics")
+	}
+	// Unlabeled and labeled metrics of one name coexist.
+	if r.Counter("x.code") == l1 {
+		t.Error("unlabeled metric must be distinct from labeled")
+	}
+	if r.Gauge("x.gauge") != r.Gauge("x.gauge") {
+		t.Error("gauge identity broken")
+	}
+	if r.Histogram("x.hist") != r.Histogram("x.hist") {
+		t.Error("histogram identity broken")
+	}
+}
+
+func TestRegistryIsolation(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("iso.calls").Add(5)
+	if got := r2.Counter("iso.calls").Value(); got != 0 {
+		t.Errorf("registries must be independent, got %d", got)
+	}
+	if Default().Has("iso.calls") {
+		t.Error("private registry leaked into Default()")
+	}
+}
+
+func TestRegistrySnapshotLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req.total", Label{"code", "200"}).Add(3)
+	r.Counter("req.total", Label{"code", "404"}).Add(1)
+	r.Gauge("pool.size").Set(7)
+	r.Histogram("lat.us").Observe(5)
+
+	snap := r.Snapshot()
+	byName := map[string]MetricValue{}
+	for _, m := range snap {
+		byName[m.FullName()] = m
+	}
+	if m := byName[`req.total{code="200"}`]; m.Value != 3 || m.Kind != "counter" {
+		t.Errorf("labeled counter row = %+v", m)
+	}
+	if m := byName[`req.total{code="404"}`]; m.Value != 1 {
+		t.Errorf("labeled counter row = %+v", m)
+	}
+	if m := byName["pool.size"]; m.Value != 7 || m.Kind != "gauge" {
+		t.Errorf("gauge row = %+v", m)
+	}
+	h := byName["lat.us"]
+	if h.Count != 1 || h.Value != 5 || len(h.Buckets) != 1 {
+		t.Errorf("histogram row = %+v", h)
+	}
+
+	// Snapshot is sorted by full name.
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].FullName() > snap[i].FullName() {
+			t.Errorf("snapshot out of order: %q > %q", snap[i-1].FullName(), snap[i].FullName())
+		}
+	}
+
+	r.Reset()
+	for _, m := range r.Snapshot() {
+		if m.Value != 0 || m.Count != 0 {
+			t.Errorf("Reset left %s = %+v", m.FullName(), m)
+		}
+	}
+}
+
+func TestRegistryHas(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("present.calls")
+	r.Histogram("present.hist", Label{"k", "v"})
+	if !r.Has("present.calls") || !r.Has("present.hist") {
+		t.Error("Has must find registered names")
+	}
+	if r.Has("absent.calls") {
+		t.Error("Has must not invent names")
+	}
+}
+
+func TestDefaultRegistryBacksPackageConstructors(t *testing.T) {
+	c := NewCounter("pkg.level.counter")
+	if Default().Counter("pkg.level.counter") != c {
+		t.Error("NewCounter must register into Default()")
+	}
+	found := false
+	for _, m := range Snapshot() {
+		if m.Name == "pkg.level.counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("package Snapshot must cover Default() registrations")
+	}
+}
+
+func TestFullNameRendering(t *testing.T) {
+	if got := fullName("a.b", nil); got != "a.b" {
+		t.Errorf("fullName unlabeled = %q", got)
+	}
+	got := fullName("a.b", []Label{{"k1", "v1"}, {"k2", "v2"}})
+	if got != `a.b{k1="v1",k2="v2"}` {
+		t.Errorf("fullName labeled = %q", got)
+	}
+	if !strings.Contains(got, `k2="v2"`) {
+		t.Errorf("label missing: %q", got)
+	}
+}

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -130,9 +132,9 @@ func WriteMetrics(w io.Writer) {
 				mean = float64(m.Value) / float64(m.Count)
 			}
 			fmt.Fprintf(w, "%-36s %9s  count=%d mean=%.1f max=%d\n",
-				m.Name, m.Kind, m.Count, mean, m.Max)
+				m.FullName(), m.Kind, m.Count, mean, m.Max)
 		default:
-			fmt.Fprintf(w, "%-36s %9s  %d\n", m.Name, m.Kind, m.Value)
+			fmt.Fprintf(w, "%-36s %9s  %d\n", m.FullName(), m.Kind, m.Value)
 		}
 	}
 }
@@ -215,15 +217,38 @@ func (s *StageSummary) String() string {
 }
 
 // spanRecord is the flat JSON-lines form of one span. One line per span,
-// depth-first, so the file is trivially convertible to CSV.
+// depth-first, so the file is trivially convertible to CSV. The same
+// shape, with Record "slowop" and ThresholdNS set, is emitted by
+// SlowOpSink.
 type spanRecord struct {
-	Record      string         `json:"record"` // "span"
+	Record      string         `json:"record"` // "span" or "slowop"
 	Name        string         `json:"name"`
+	TraceID     string         `json:"trace_id,omitempty"`
 	Depth       int            `json:"depth"`
 	Parent      string         `json:"parent,omitempty"`
 	StartUnixNS int64          `json:"start_unix_ns"`
 	DurationNS  int64          `json:"duration_ns"`
+	ThresholdNS int64          `json:"threshold_ns,omitempty"`
 	Attrs       map[string]any `json:"attrs,omitempty"`
+}
+
+// attrMap renders a span's attributes for a JSON record (nil when the
+// span has none). Lazy Stringer attributes are rendered here, at sink
+// time.
+func attrMap(sp *Span) map[string]any {
+	if len(sp.Attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(sp.Attrs))
+	for _, a := range sp.Attrs {
+		switch v := a.Value.(type) {
+		case int64, string, bool:
+			m[a.Key] = v
+		default:
+			m[a.Key] = a.ValueString()
+		}
+	}
+	return m
 }
 
 // metricRecord is the flat JSON-lines form of one metric snapshot row.
@@ -236,23 +261,45 @@ type metricRecord struct {
 	Max    int64  `json:"max,omitempty"`
 }
 
-// JSONLSink streams finished spans as JSON lines. Errors are sticky and
-// reported by Err (sinks are called from span.End, which cannot fail).
+// ErrSinkClosed is the sticky error recorded when a JSONLSink is written
+// to after Close.
+var ErrSinkClosed = errors.New("obs: jsonl sink is closed")
+
+// JSONLSink streams finished spans as JSON lines through an internal
+// buffer. It is safe for concurrent writers (the daemon ends spans from
+// many request goroutines); each record is encoded and buffered under
+// one lock, so lines never interleave. Errors are sticky and reported by
+// Err (sinks are called from span.End, which cannot fail). Call Close
+// when done: it flushes the buffer and, when the underlying writer is a
+// file, syncs it to stable storage.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	syncer interface{ Sync() error }
+	closed bool
+	err    error
 }
 
-// NewJSONLSink returns a sink writing JSON lines to w.
+// NewJSONLSink returns a sink writing JSON lines to w. Output is
+// buffered: nothing is guaranteed on disk until Close (or a buffer
+// flush) — callers that attach the sink must pair it with Close.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	j := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		j.syncer = s
+	}
+	return j
 }
 
 // RootEnded implements Sink: it writes one line per span of the tree.
 func (j *JSONLSink) RootEnded(root *Span) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.checkOpen() != nil {
+		return
+	}
 	root.Walk(func(sp *Span, depth int) {
 		if j.err != nil {
 			return
@@ -260,23 +307,14 @@ func (j *JSONLSink) RootEnded(root *Span) {
 		rec := spanRecord{
 			Record:      "span",
 			Name:        sp.Name,
+			TraceID:     string(sp.TraceID),
 			Depth:       depth,
 			StartUnixNS: sp.Began.UnixNano(),
 			DurationNS:  sp.Duration.Nanoseconds(),
+			Attrs:       attrMap(sp),
 		}
 		if sp.parent != nil {
 			rec.Parent = sp.parent.Name
-		}
-		if len(sp.Attrs) > 0 {
-			rec.Attrs = make(map[string]any, len(sp.Attrs))
-			for _, a := range sp.Attrs {
-				switch v := a.Value.(type) {
-				case int64, string, bool:
-					rec.Attrs[a.Key] = v
-				default:
-					rec.Attrs[a.Key] = a.ValueString()
-				}
-			}
 		}
 		j.err = j.enc.Encode(rec)
 	})
@@ -287,6 +325,9 @@ func (j *JSONLSink) RootEnded(root *Span) {
 func (j *JSONLSink) WriteMetrics() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.checkOpen(); err != nil {
+		return err
+	}
 	for _, m := range Snapshot() {
 		if j.err != nil {
 			return j.err
@@ -295,9 +336,45 @@ func (j *JSONLSink) WriteMetrics() error {
 			continue
 		}
 		j.err = j.enc.Encode(metricRecord{
-			Record: "metric", Name: m.Name, Kind: m.Kind,
+			Record: "metric", Name: m.FullName(), Kind: m.Kind,
 			Value: m.Value, Count: m.Count, Max: m.Max,
 		})
+	}
+	return j.err
+}
+
+// checkOpen records the sticky closed error on writes after Close.
+// Callers must hold j.mu.
+func (j *JSONLSink) checkOpen() error {
+	if j.closed {
+		if j.err == nil {
+			j.err = ErrSinkClosed
+		}
+		return ErrSinkClosed
+	}
+	return nil
+}
+
+// Close flushes buffered lines to the underlying writer, syncs it when
+// it is a file, and marks the sink closed: later writes record
+// ErrSinkClosed instead of being silently buffered and lost. Close is
+// idempotent and safe to race with concurrent RootEnded calls — whole
+// lines are either flushed or reported as errors, never torn. It returns
+// the first error of the sink's lifetime.
+func (j *JSONLSink) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if j.syncer != nil {
+		if err := j.syncer.Sync(); err != nil && j.err == nil {
+			j.err = err
+		}
 	}
 	return j.err
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one request through the whole pipeline: the engine
+// (or the daemon's HTTP layer) mints one per request, carries it in the
+// context, and every span started under that request inherits it — so a
+// slow verdict in a JSONL trace can be correlated with the cache
+// misses, budget charges and lazy-exploration waves that produced it.
+//
+// The zero value "" means "no trace"; it is what TraceIDFrom reports for
+// a context without one.
+type TraceID string
+
+// traceSeq is the per-process trace-id sequence, seeded once from the
+// wall clock and pid so ids from concurrently started processes (or
+// restarts) do not collide in a merged log.
+var traceSeq atomic.Uint64
+
+func init() {
+	traceSeq.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+}
+
+// NewTraceID mints a fresh process-unique trace id: 16 hex digits, from
+// an atomic sequence diffused through a splitmix64 round so consecutive
+// requests do not share prefixes.
+func NewTraceID() TraceID {
+	z := traceSeq.Add(1) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return TraceID(fmt.Sprintf("%016x", z))
+}
+
+// traceKey carries a TraceID in a context.Context.
+type traceKey struct{}
+
+// WithTraceID returns a context carrying the trace id. Attaching the
+// zero id is a no-op returning ctx unchanged.
+func WithTraceID(ctx context.Context, id TraceID) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the trace id carried by the context, or "".
+func TraceIDFrom(ctx context.Context) TraceID {
+	id, _ := ctx.Value(traceKey{}).(TraceID)
+	return id
+}
+
+// EnsureTraceID returns a context that carries a trace id and that id:
+// the one already attached when present, otherwise a freshly minted one.
+func EnsureTraceID(ctx context.Context) (context.Context, TraceID) {
+	if id := TraceIDFrom(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTraceID(ctx, id), id
+}
+
+// SlowOpSink emits one structured JSONL record for every span — at any
+// depth — whose duration meets the threshold, so an operator can tail a
+// single file for outliers without storing full traces. Records reuse
+// the trace format ("record":"slowop") and carry the span's trace id,
+// duration and attributes plus the configured threshold.
+type SlowOpSink struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	enc       *json.Encoder
+	err       error
+}
+
+// NewSlowOpSink returns a sink writing slow-op JSONL records to w for
+// spans at least threshold long.
+func NewSlowOpSink(w io.Writer, threshold time.Duration) *SlowOpSink {
+	return &SlowOpSink{threshold: threshold, enc: json.NewEncoder(w)}
+}
+
+// RootEnded implements Sink.
+func (s *SlowOpSink) RootEnded(root *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root.Walk(func(sp *Span, depth int) {
+		if s.err != nil || sp.Duration < s.threshold {
+			return
+		}
+		rec := spanRecord{
+			Record:      "slowop",
+			Name:        sp.Name,
+			TraceID:     string(sp.TraceID),
+			Depth:       depth,
+			StartUnixNS: sp.Began.UnixNano(),
+			DurationNS:  sp.Duration.Nanoseconds(),
+			ThresholdNS: s.threshold.Nanoseconds(),
+			Attrs:       attrMap(sp),
+		}
+		if sp.parent != nil {
+			rec.Parent = sp.parent.Name
+		}
+		s.err = s.enc.Encode(rec)
+	})
+}
+
+// Err returns the first write error, if any.
+func (s *SlowOpSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

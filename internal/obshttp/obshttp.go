@@ -1,0 +1,106 @@
+// Package obshttp is the HTTP introspection surface over internal/obs:
+// a mux exposing the metric registry in the Prometheus text format
+// (/metrics), a liveness probe (/healthz), an expvar-style JSON dump of
+// every metric (/debug/vars), and the standard net/http/pprof profiling
+// endpoints (/debug/pprof/). cmd/temporald mounts it as the daemon's
+// operational plane, and the batch CLIs serve it on -metrics-addr so
+// long classification runs can be scraped and profiled live.
+//
+// The surface is read-only and unauthenticated by design — bind it to
+// loopback or an operations network, never the public edge.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	cntScrapes = obs.NewCounter("obshttp.metrics.scrapes")
+	cntHealth  = obs.NewCounter("obshttp.healthz.checks")
+)
+
+// start anchors the /healthz uptime report.
+var start = time.Now()
+
+// NewMux returns the introspection mux over the registry (obs.Default()
+// when reg is nil).
+func NewMux(reg *obs.Registry) *http.ServeMux {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		cntScrapes.Inc()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The registry snapshot cannot fail; an error here is the client
+		// hanging up mid-write, which needs no handling.
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		cntHealth.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":     "ok",
+			"uptime_s":   int64(time.Since(start).Seconds()),
+			"goroutines": runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(varsDump(reg))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// varsDump renders the registry as one flat JSON object keyed by full
+// metric name — the /debug/vars (expvar-convention) view. Histograms
+// become {count,sum,max} objects.
+func varsDump(reg *obs.Registry) map[string]any {
+	out := map[string]any{}
+	for _, m := range reg.Snapshot() {
+		switch m.Kind {
+		case "histogram":
+			out[m.FullName()] = map[string]int64{
+				"count": m.Count, "sum": m.Value, "max": m.Max,
+			}
+		default:
+			out[m.FullName()] = m.Value
+		}
+	}
+	return out
+}
+
+// Serve serves the introspection mux on an already bound listener; it
+// returns when the listener closes. CLI callers bind first (so the
+// address, possibly :0-assigned, is known and printable) and then serve
+// in the background.
+func Serve(ln net.Listener, reg *obs.Registry) error {
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(ln)
+}
+
+// Listen binds addr and serves the introspection surface in a background
+// goroutine, returning the bound address (useful with ":0"). The
+// listener lives until the process exits — this is the one-call form
+// behind the CLIs' -metrics-addr flag.
+func Listen(addr string, reg *obs.Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	go func() { _ = Serve(ln, reg) }()
+	return ln.Addr(), nil
+}

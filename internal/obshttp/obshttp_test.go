@@ -1,0 +1,134 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String(), rr.Header()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("engine.cache.hits").Add(3)
+	reg.Histogram("classify.latency_us").Observe(12)
+	mux := NewMux(reg)
+
+	code, body, hdr := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE engine_cache_hits counter",
+		"engine_cache_hits 3",
+		"# TYPE classify_latency_us histogram",
+		`classify_latency_us_bucket{le="+Inf"} 1`,
+		"classify_latency_us_sum 12",
+		"classify_latency_us_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	mux := NewMux(obs.NewRegistry())
+	code, body, _ := get(t, mux, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("healthz body is not JSON: %v", err)
+	}
+	if rec["status"] != "ok" {
+		t.Errorf("healthz = %v", rec)
+	}
+	if _, ok := rec["goroutines"].(float64); !ok {
+		t.Errorf("healthz missing goroutines: %v", rec)
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a.calls").Add(5)
+	reg.Gauge("b.size").Set(9)
+	reg.Histogram("c.lat").Observe(2)
+	mux := NewMux(reg)
+
+	code, body, _ := get(t, mux, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["a.calls"] != float64(5) || vars["b.size"] != float64(9) {
+		t.Errorf("vars = %v", vars)
+	}
+	h, ok := vars["c.lat"].(map[string]any)
+	if !ok || h["count"] != float64(1) || h["sum"] != float64(2) {
+		t.Errorf("histogram var = %v", vars["c.lat"])
+	}
+}
+
+func TestPprofWired(t *testing.T) {
+	mux := NewMux(obs.NewRegistry())
+	code, body, _ := get(t, mux, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: code=%d body=%.80s", code, body)
+	}
+}
+
+func TestNilRegistryUsesDefault(t *testing.T) {
+	name := "obshttp.test.default_counter"
+	obs.NewCounter(name).Inc()
+	_, body, _ := get(t, NewMux(nil), "/metrics")
+	if !strings.Contains(body, obs.PromName(name)) {
+		t.Errorf("nil registry must expose Default(); missing %s", name)
+	}
+}
+
+// TestListenServesRealSocket exercises the -metrics-addr path end to
+// end: bind :0, scrape over a real TCP connection.
+func TestListenServesRealSocket(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("listen.test.calls").Add(1)
+	addr, err := Listen("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "listen_test_calls 1") {
+		t.Errorf("scrape over TCP: code=%d body=%s", resp.StatusCode, body)
+	}
+	// Scrape counter increments on the shared default registry.
+	if obs.Default().Counter("obshttp.metrics.scrapes").Value() == 0 {
+		t.Error("scrape counter did not move")
+	}
+}

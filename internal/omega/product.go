@@ -31,7 +31,7 @@ func (a *Automaton) IntersectCtx(ctx context.Context, b *Automaton) (*Automaton,
 	if !a.alpha.Equal(b.alpha) {
 		return nil, fmt.Errorf("omega: product over different alphabets %v and %v", a.alpha, b.alpha)
 	}
-	sp := obs.Start("omega.product").
+	sp := obs.StartIn(ctx, "omega.product").
 		Int("left_states", a.NumStates()).Int("right_states", b.NumStates()).
 		Int("alphabet", a.alpha.Size())
 	defer sp.End()

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Benchmark harness for the automaton kernel and lazy exploration layers
-# (PR 5).
+# Benchmark harness for the automaton kernel, lazy exploration and
+# observability layers (PR 6).
 #
 # Runs the curated benchmark set — the BenchmarkLazy* eager-vs-lazy
 # families and the BenchmarkAlloc* allocation benchmarks over the
-# product-heavy generators in internal/gen, plus the pipeline benchmarks
-# that exercise containment/equivalence and the model checker end to end
-# — and converts the output into a JSON snapshot via cmd/benchjson,
-# which also enforces the lazy-vs-eager gate: on the shallow-witness
-# families, the lazy path must materialize at most half the states the
-# eager oracle does.
+# product-heavy generators in internal/gen, the pipeline benchmarks that
+# exercise containment/equivalence and the model checker end to end, and
+# the BenchmarkObs* observability-overhead probes — and converts the
+# output into a JSON snapshot via cmd/benchjson, which also enforces the
+# lazy-vs-eager gate: on the shallow-witness families, the lazy path must
+# materialize at most half the states the eager oracle does.
+#
+# The obs-disabled benchmarks are the free-when-off contract in numbers:
+# they run at a fixed large iteration count (their ops are nanoseconds,
+# so -benchtime 50x would be pure noise) and gate at 5% — a counter Inc
+# or disabled span on the hot path must stay free.
 #
 #   scripts/bench.sh          full run: real benchtime, ns gate, writes
-#                             BENCH_pr5.json, and fails on >20% ns/op or
+#                             BENCH_pr6.json, and fails on >20% ns/op or
 #                             allocs/op regression against the previous
-#                             snapshot (BENCH_pr4.json)
+#                             snapshot (BENCH_pr5.json), plus the 5% obs
+#                             overhead gate
 #   scripts/bench.sh -quick   smoke run (benchtime=1x): each benchmark
 #                             executes once and only the deterministic
 #                             states/op gate is enforced — this is what
@@ -27,9 +33,9 @@ if [ "${1:-}" = "-quick" ]; then
     MODE=quick
 fi
 
-SNAP=BENCH_pr5.json
-PREV=BENCH_pr4.json
-CURATED='^(BenchmarkLazy|BenchmarkAlloc|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
+SNAP=BENCH_pr6.json
+PREV=BENCH_pr5.json
+CURATED='^(BenchmarkLazy|BenchmarkAlloc|BenchmarkObs|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -38,7 +44,7 @@ if [ "$MODE" = "quick" ]; then
     go test -run '^$' -bench "$CURATED" -benchtime 1x -benchmem . > "$tmp/bench.txt"
     # 1x timings are noise: enforce only the deterministic states/op
     # contract and write the snapshot to a scratch path.
-    go run ./cmd/benchjson -pr pr5-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
+    go run ./cmd/benchjson -pr pr6-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
     echo "bench smoke ok"
     exit 0
 fi
@@ -46,14 +52,37 @@ fi
 echo "== bench (full) =="
 go test -run '^$' -bench "$CURATED" -benchtime 50x -benchmem -count 3 . | tee "$tmp/bench.txt"
 
-args=(-pr pr5 -i "$tmp/bench.txt" -o "$tmp/bench.json" -ns-gate)
+# Nanosecond-scale obs benchmarks re-run at a fixed high iteration count
+# for stable figures; these lines replace the 50x ones in the snapshot
+# input (benchjson averages duplicate names, so drop the noisy pass).
+echo "== bench (obs overhead, 100000x) =="
+go test -run '^$' -bench '^BenchmarkObs' -benchtime 100000x -benchmem -count 3 . | tee "$tmp/obs.txt"
+grep -v '^BenchmarkObs' "$tmp/bench.txt" > "$tmp/merged.txt"
+cat "$tmp/obs.txt" >> "$tmp/merged.txt"
+
+args=(-pr pr6 -i "$tmp/merged.txt" -o "$tmp/bench.json" -ns-gate)
 if [ -f "$SNAP" ]; then
-    # Re-runs gate against the committed pr5 snapshot before replacing it.
+    # Re-runs gate against the committed pr6 snapshot before replacing it.
     args+=(-compare "$SNAP" -tolerance 0.2)
 elif [ -f "$PREV" ]; then
-    # First pr5 run gates against the previous PR's snapshot.
+    # First pr6 run gates against the previous PR's snapshot (which has
+    # no BenchmarkObs entries, so the obs gate below starts biting once
+    # BENCH_pr6.json is committed).
     args+=(-compare "$PREV" -tolerance 0.2)
 fi
 go run ./cmd/benchjson "${args[@]}"
+
+# Obs overhead gate: the disabled-sink path may regress at most 5%
+# against the committed snapshot. Allocation gate is exact (tolerance 0):
+# the disabled path is contractually alloc-free.
+if [ -f "$SNAP" ]; then
+    grep '^BenchmarkObsDisabled' "$tmp/obs.txt" > "$tmp/obsgate.txt" || true
+    if [ -s "$tmp/obsgate.txt" ]; then
+        go run ./cmd/benchjson -pr pr6-obs -i "$tmp/obsgate.txt" -o /dev/null \
+            -compare "$SNAP" -tolerance 0.05 -allocs-tolerance 0 -lazy-gate ''
+        echo "obs overhead gate ok (≤5% vs $SNAP)"
+    fi
+fi
+
 mv "$tmp/bench.json" "$SNAP"
 echo "wrote $SNAP"

@@ -47,6 +47,10 @@ cov_floor ./internal/core/ 76
 cov_floor ./internal/autkern/ 89
 cov_floor ./internal/dfa/ 90
 cov_floor ./internal/mc/ 87
+# The observability layer is infrastructure every other layer leans on;
+# untested branches here fail silently in production scrapes.
+cov_floor ./internal/obs/ 85
+cov_floor ./internal/obshttp/ 92
 
 # Graph-algorithm lint: SCC decomposition, reachability closures and
 # state-pair/key interning live in internal/autkern only. A new Tarjan
@@ -105,6 +109,37 @@ cli_must_fail() { # name, expected stderr substring, then the command
         echo "$out" >&2; exit 1
     fi
 }
+
+# Daemon smoke: temporald must come up, serve /healthz and /metrics with
+# the canonical engine metric families, classify over HTTP, and die
+# cleanly. Uses -addr-file + the built-in -probe client, so the check
+# needs no curl and no fixed port.
+echo "== temporald smoke =="
+go build -o "$tmp" ./cmd/temporald
+"$tmp/temporald" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+temporald_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$tmp/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "temporald did not write its address file" >&2
+    kill "$temporald_pid" 2>/dev/null || true
+    exit 1
+fi
+daemon_addr=$(cat "$tmp/addr")
+probe_out=$("$tmp/temporald" -probe "$daemon_addr")
+for metric in engine_cache_hits engine_cache_misses \
+    omega_lazy_states_materialized budget_exceeded engine_panics_recovered; do
+    if ! grep -q "$metric" <<<"$probe_out"; then
+        echo "temporald /metrics missing $metric" >&2
+        kill "$temporald_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+kill "$temporald_pid"
+wait "$temporald_pid" 2>/dev/null || true
+echo "temporald smoke ok ($daemon_addr)"
 
 : > "$tmp/empty.txt"
 cli_must_fail "classify empty batch" "empty input" \
