@@ -40,8 +40,7 @@ import (
 	"strings"
 
 	temporal "repro"
-	"repro/internal/obs"
-	"repro/internal/obshttp"
+	"repro/internal/cli"
 	"repro/internal/omega"
 )
 
@@ -68,55 +67,28 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	alphaStr := fs.String("alphabet", "ab", "letters of the alphabet for -op")
 	autFile := fs.String("automaton", "", "file with a Streett automaton in the textual format")
 	batchFile := fs.String("batch", "", "file with one formula per line ('#' comments): classify all at once")
-	jobs := fs.Int("jobs", 0, "engine worker-pool bound for -batch (0 = number of CPUs)")
-	budgetStates := fs.Int64("budget", 0, "state budget per request: abort any request that materializes more automaton states (0 = unlimited)")
-	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
-	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
-	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
-	slowOp := fs.Duration("slow-op", 0, "log spans at or above this duration as JSONL to stderr (0 = off)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run's duration")
+	common := cli.Register(fs, cli.FlagAll)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	finish, err := obs.Setup(obs.Config{
-		Stats:     *stats,
-		TracePath: *tracePath,
-		SlowOp:    *slowOp,
-		SlowOpW:   stderr,
-	}, stderr)
+	finish, err := common.SetupObs(stderr)
 	if err != nil {
 		return err
 	}
-	if *metricsAddr != "" {
-		addr, err := obshttp.Listen(*metricsAddr, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stderr, "metrics: http://%s/metrics\n", addr)
-	}
-	ctx := context.Background()
-	if obs.Enabled() {
-		// One CLI invocation is one trace: mint the id up front so every
-		// engine request of the run shares it in the JSONL records.
-		ctx, _ = obs.EnsureTraceID(ctx)
-	}
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	err = dispatch(ctx, fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, *jobs, *budgetStates, stdout)
+	ctx, cancel := common.Context(context.Background())
+	defer cancel()
+	err = dispatch(ctx, fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, common, stdout)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func dispatch(ctx context.Context, fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, jobs int, budgetStates int64, stdout io.Writer) error {
+func dispatch(ctx context.Context, fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, common *cli.Common, stdout io.Writer) error {
 	// One engine per invocation: a CLI run is one-shot, so the memo cache
 	// only serves within-run sharing (batch dedup, repeated subterms).
-	eng := temporal.NewEngine(engineOpts(jobs, budgetStates)...)
+	eng := temporal.NewEngine(common.EngineOptions()...)
 	if batchFile != "" {
 		return classifyBatch(ctx, batchFile, props, eng, stdout)
 	}
@@ -130,22 +102,6 @@ func dispatch(ctx context.Context, fs *flag.FlagSet, autFile, batchFile, op, reg
 		return fmt.Errorf("need exactly one formula argument")
 	}
 	return classifyFormula(ctx, fs.Arg(0), props, eng, stdout)
-}
-
-func engineOpts(jobs int, budgetStates int64) []temporal.EngineOption {
-	var opts []temporal.EngineOption
-	if jobs > 0 {
-		opts = append(opts, temporal.WithParallelism(jobs))
-	}
-	if budgetStates > 0 {
-		// Derive a step budget from the state budget: the iterative
-		// analyses (refinements, SCC passes) do a bounded amount of work
-		// per materialized state; 64 steps per budgeted state is generous
-		// for legitimate inputs while still bounding runaway refinement.
-		opts = append(opts, temporal.WithStateBudget(budgetStates),
-			temporal.WithStepBudget(64*budgetStates))
-	}
-	return opts
 }
 
 // readFormulaLines reads one formula per line, skipping blanks and '#'

@@ -14,6 +14,12 @@
 // The requirement list is classified as one engine batch: structurally
 // identical requirements are deduplicated and distinct ones classified
 // concurrently (bounded by -jobs; 0 means the number of CPUs).
+//
+// With -explain, speccheck also reports the query-planner view of each
+// requirement: the plan tier its compiled automaton lands in, the
+// decision procedure that tier runs, its asymptotic cost, and why the
+// planner considers the cheaper procedure sound. The footer prints the
+// full tier table (class -> procedure -> complexity) for reference.
 package main
 
 import (
@@ -25,8 +31,7 @@ import (
 	"strings"
 
 	temporal "repro"
-	"repro/internal/obs"
-	"repro/internal/obshttp"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -48,51 +53,25 @@ func run(args []string) (code int, err error) {
 	}()
 	fs := flag.NewFlagSet("speccheck", flag.ContinueOnError)
 	file := fs.String("f", "", "file with one formula per line ('#' comments)")
-	jobs := fs.Int("jobs", 0, "engine worker-pool bound (0 = number of CPUs)")
-	budgetStates := fs.Int64("budget", 0, "state budget per request: abort any request that materializes more automaton states (0 = unlimited)")
-	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the whole run, e.g. 30s (0 = none)")
-	stats := fs.Bool("stats", false, "print span tree, stage summary and metrics to stderr")
-	tracePath := fs.String("trace", "", "write spans and metrics as JSON lines to this file")
-	slowOp := fs.Duration("slow-op", 0, "log spans at or above this duration as JSONL to stderr (0 = off)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run's duration")
+	explain := fs.Bool("explain", false, "report the planner tier, procedure and rationale per requirement")
+	common := cli.Register(fs, cli.FlagAll)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	finish, err := obs.Setup(obs.Config{
-		Stats:     *stats,
-		TracePath: *tracePath,
-		SlowOp:    *slowOp,
-		SlowOpW:   os.Stderr,
-	}, os.Stderr)
+	finish, err := common.SetupObs(os.Stderr)
 	if err != nil {
 		return 0, err
 	}
-	if *metricsAddr != "" {
-		addr, err := obshttp.Listen(*metricsAddr, nil)
-		if err != nil {
-			return 0, err
-		}
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", addr)
-	}
-	ctx := context.Background()
-	if obs.Enabled() {
-		// One CLI invocation is one trace: mint the id up front so every
-		// engine request of the run shares it in the JSONL records.
-		ctx, _ = obs.EnsureTraceID(ctx)
-	}
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	code, err = check(ctx, fs, *file, *jobs, *budgetStates)
+	ctx, cancel := common.Context(context.Background())
+	defer cancel()
+	code, err = check(ctx, fs, *file, *explain, common)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return code, err
 }
 
-func check(ctx context.Context, fs *flag.FlagSet, file string, jobs int, budgetStates int64) (int, error) {
+func check(ctx context.Context, fs *flag.FlagSet, file string, explain bool, common *cli.Common) (int, error) {
 	var inputs []string
 	if file != "" {
 		f, err := os.Open(file)
@@ -128,19 +107,7 @@ func check(ctx context.Context, fs *flag.FlagSet, file string, jobs int, budgetS
 		}
 		reqs[i] = temporal.BatchRequest{Formula: f}
 	}
-	var opts []temporal.EngineOption
-	if jobs > 0 {
-		opts = append(opts, temporal.WithParallelism(jobs))
-	}
-	if budgetStates > 0 {
-		// Same derivation as cmd/classify: the iterative analyses do a
-		// bounded amount of work per materialized state, so a 64x step
-		// budget bounds runaway refinement without tripping on legitimate
-		// inputs.
-		opts = append(opts, temporal.WithStateBudget(budgetStates),
-			temporal.WithStepBudget(64*budgetStates))
-	}
-	eng := temporal.NewEngine(opts...)
+	eng := temporal.NewEngine(common.EngineOptions()...)
 	results := eng.Batch(ctx, reqs)
 
 	counts := map[temporal.Class]int{}
@@ -170,6 +137,13 @@ func check(ctx context.Context, fs *flag.FlagSet, file string, jobs int, budgetS
 		fmt.Printf("  [%s] %-12v %d requirement(s)\n", marker, cl, counts[cl])
 	}
 
+	if explain {
+		fmt.Println()
+		if err := explainPlans(ctx, eng, inputs, results); err != nil {
+			return 0, err
+		}
+	}
+
 	fmt.Println()
 	if !hasLiveness {
 		fmt.Println("WARNING: every requirement is a safety property. A system that")
@@ -182,6 +156,38 @@ func check(ctx context.Context, fs *flag.FlagSet, file string, jobs int, budgetS
 	fmt.Println("specification contains liveness requirements — the do-nothing")
 	fmt.Println("implementation is excluded.")
 	return 0, nil
+}
+
+// explainPlans prints the query-planner view: for each requirement,
+// the tier its compiled automaton lands in (from the semantic probe,
+// which can beat the syntactic class — e.g. a syntactically reactivity
+// formula whose automaton is semantically safe), the procedure that
+// tier runs, and the planner's rationale. The syntactic hint
+// (PlanOfClass of the classification) is shown when it differs from
+// the probe-based decision.
+func explainPlans(ctx context.Context, eng *temporal.Engine, inputs []string, results []temporal.BatchResult) error {
+	fmt.Println("query plan (-explain):")
+	fmt.Printf("  %-36s %-12s %s\n", "requirement", "tier", "procedure — why cheaper")
+	for i, r := range results {
+		_, dec, err := eng.PlanAutomaton(ctx, r.Automaton)
+		if err != nil {
+			return fmt.Errorf("plan %q: %w", inputs[i], err)
+		}
+		fmt.Printf("  %-36s %-12s %s\n", inputs[i], dec.Tier, dec.Tier.Procedure())
+		fmt.Printf("  %-36s %-12s %s\n", "", "", "cost "+dec.Tier.CostNote()+"; "+dec.Reason)
+		if hint := temporal.PlanOfClass(r.Classification.Lowest()); hint.Tier != dec.Tier {
+			fmt.Printf("  %-36s %-12s syntactic class alone would plan %s\n", "", "", hint.Tier)
+		}
+	}
+	fmt.Println()
+	fmt.Println("tier table (class -> procedure -> complexity):")
+	for _, t := range []temporal.PlanTier{
+		temporal.TierSafety, temporal.TierGuarantee, temporal.TierObligation,
+		temporal.TierRecurrence, temporal.TierPersistence, temporal.TierStreett,
+	} {
+		fmt.Printf("  %-12s %-62s %s\n", t, t.Procedure(), t.CostNote())
+	}
+	return nil
 }
 
 func reading(c temporal.Class) string {

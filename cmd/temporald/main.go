@@ -27,6 +27,8 @@ import (
 	"time"
 
 	temporal "repro"
+	"repro/internal/budget"
+	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/obshttp"
 )
@@ -43,14 +45,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8123", "listen address (use :0 for an ephemeral port)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts binding :0)")
-	jobs := fs.Int("jobs", 0, "engine worker-pool bound (0 = number of CPUs)")
 	cache := fs.Int("cache", 0, "engine memo-cache entries (0 = default)")
-	budgetStates := fs.Int64("budget", 0, "state budget per request (0 = unlimited)")
-	reqTimeout := fs.Duration("timeout", 30*time.Second, "per-request wall-clock deadline (0 = none)")
-	tracePath := fs.String("trace", "", "write all spans and metrics as JSON lines to this file on shutdown")
-	slowOp := fs.Duration("slow-op", 0, "log spans at or above this duration as JSONL (0 = off)")
 	slowOpLog := fs.String("slow-op-log", "", "slow-op JSONL destination (default stderr)")
 	probe := fs.String("probe", "", "client mode: GET /healthz and /metrics from a running daemon at this address, print to stdout, exit")
+	// The daemon shares the fleet-wide -jobs/-budget/-trace/-slow-op
+	// knobs but owns -timeout: it is a per-request deadline here, not a
+	// run deadline, so it is bound directly with its own default.
+	common := cli.Register(fs, cli.FlagJobs|cli.FlagBudget|cli.FlagTrace|cli.FlagSlowOp)
+	fs.DurationVar(&common.Timeout, "timeout", 30*time.Second, "per-request wall-clock deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,26 +61,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runProbe(*probe, stdout)
 	}
 
-	slowW := io.Writer(stderr)
 	if *slowOpLog != "" {
 		f, err := os.Create(*slowOpLog)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		slowW = f
+		common.SlowOpW = f
 	}
-	finish, err := obs.Setup(obs.Config{
-		TracePath: *tracePath,
-		SlowOp:    *slowOp,
-		SlowOpW:   slowW,
-	}, stderr)
+	finish, err := common.SetupObs(stderr)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = finish() }()
 
-	srv := newServer(engineOpts(*jobs, *cache, *budgetStates), *reqTimeout)
+	// The per-request budget is attached by the handler (so spend is
+	// readable per response), not via engine options: only cache and
+	// parallelism configure the shared engine.
+	srv := newServer(common.EngineOptions(cacheOpts(*cache)...), common.Timeout, common.Budget)
 	mux := obshttp.NewMux(nil)
 	mux.Handle("/classify", srv)
 
@@ -113,34 +113,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 }
 
-func engineOpts(jobs, cache int, budgetStates int64) []temporal.EngineOption {
-	var opts []temporal.EngineOption
-	if jobs > 0 {
-		opts = append(opts, temporal.WithParallelism(jobs))
-	}
+func cacheOpts(cache int) []temporal.EngineOption {
 	if cache > 0 {
-		opts = append(opts, temporal.WithCacheSize(cache))
+		return []temporal.EngineOption{temporal.WithCacheSize(cache)}
 	}
-	if budgetStates > 0 {
-		opts = append(opts, temporal.WithStateBudget(budgetStates),
-			temporal.WithStepBudget(64*budgetStates))
-	}
-	return opts
+	return nil
 }
 
 // server is the /classify handler over one shared engine.
 type server struct {
-	eng     *temporal.Engine
-	timeout time.Duration
+	eng          *temporal.Engine
+	timeout      time.Duration
+	budgetStates int64
 
 	histLatency *obs.Histogram
 }
 
-func newServer(opts []temporal.EngineOption, timeout time.Duration) *server {
+func newServer(opts []temporal.EngineOption, timeout time.Duration, budgetStates int64) *server {
 	return &server{
-		eng:         temporal.NewEngine(opts...),
-		timeout:     timeout,
-		histLatency: obs.NewHistogram("temporald.classify.latency_us"),
+		eng:          temporal.NewEngine(opts...),
+		timeout:      timeout,
+		budgetStates: budgetStates,
+		histLatency:  obs.NewHistogram("temporald.classify.latency_us"),
 	}
 }
 
@@ -161,7 +155,16 @@ type classifyResponse struct {
 	ReactivityRank int      `json:"reactivity_rank"`
 	States         int      `json:"states"`
 	Pairs          int      `json:"pairs"`
-	DurationUS     int64    `json:"duration_us"`
+	// Plan is the query-planner tier the compiled automaton lands in
+	// (from the semantic probe) with the planner's one-line rationale —
+	// the service form of speccheck -explain.
+	Plan       string `json:"plan"`
+	PlanReason string `json:"plan_reason,omitempty"`
+	// BudgetStates/BudgetSteps report the request's spend against the
+	// daemon's -budget governance (absent when unlimited).
+	BudgetStates int64 `json:"budget_states,omitempty"`
+	BudgetSteps  int64 `json:"budget_steps,omitempty"`
+	DurationUS   int64 `json:"duration_us"`
 }
 
 // respCounter returns the labeled response counter for an HTTP status.
@@ -210,6 +213,16 @@ func (s *server) handle(ctx context.Context, r *http.Request, id obs.TraceID) (i
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
+	// Attach the per-request budget here rather than via engine options
+	// so the handler can read the spend back for the response. Planner
+	// probes and fast paths charge the same meter as every other
+	// analysis, and a budget abort inside the planner propagates (it
+	// never falls back), so exhaustion maps to 503 on every path.
+	var bud *budget.Budget
+	if s.budgetStates > 0 {
+		bud = budget.New(s.budgetStates, 64*s.budgetStates)
+		ctx = budget.With(ctx, bud)
+	}
 	aut, err := s.eng.CompileFormula(ctx, f, req.Props)
 	if err != nil {
 		return fail(statusFor(err), err)
@@ -218,11 +231,15 @@ func (s *server) handle(ctx context.Context, r *http.Request, id obs.TraceID) (i
 	if err != nil {
 		return fail(statusFor(err), err)
 	}
+	_, dec, err := s.eng.PlanAutomaton(ctx, aut)
+	if err != nil {
+		return fail(statusFor(err), err)
+	}
 	classes := make([]string, 0, 6)
 	for _, cl := range c.Classes() {
 		classes = append(classes, cl.String())
 	}
-	return http.StatusOK, &classifyResponse{
+	resp := &classifyResponse{
 		TraceID:        string(id),
 		Formula:        f.String(),
 		Class:          c.Lowest().String(),
@@ -231,7 +248,14 @@ func (s *server) handle(ctx context.Context, r *http.Request, id obs.TraceID) (i
 		ReactivityRank: c.ReactivityRank,
 		States:         aut.NumStates(),
 		Pairs:          aut.NumPairs(),
+		Plan:           dec.Tier.String(),
+		PlanReason:     dec.Reason,
 	}
+	if bud != nil {
+		resp.BudgetStates = bud.States()
+		resp.BudgetSteps = bud.Steps()
+	}
+	return http.StatusOK, resp
 }
 
 // statusFor maps engine errors onto HTTP statuses: resource exhaustion

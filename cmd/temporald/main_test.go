@@ -35,7 +35,7 @@ func postClassify(t *testing.T, h http.Handler, body string) (*httptest.Response
 }
 
 func TestClassifyEndpoint(t *testing.T) {
-	srv := newServer(nil, time.Minute)
+	srv := newServer(nil, time.Minute, 0)
 	mux := newTestMux(t, srv)
 
 	rr, rec := postClassify(t, mux, `{"formula":"G F p"}`)
@@ -67,7 +67,7 @@ func TestClassifyEndpoint(t *testing.T) {
 }
 
 func TestClassifyErrors(t *testing.T) {
-	srv := newServer(nil, time.Minute)
+	srv := newServer(nil, time.Minute, 0)
 	mux := newTestMux(t, srv)
 
 	get := httptest.NewRequest(http.MethodGet, "/classify", nil)
@@ -92,7 +92,7 @@ func TestClassifyErrors(t *testing.T) {
 }
 
 func TestClassifyBudgetExceededIs503(t *testing.T) {
-	srv := newServer(engineOpts(0, 0, 1), time.Minute)
+	srv := newServer(nil, time.Minute, 1)
 	mux := newTestMux(t, srv)
 	rr, rec := postClassify(t, mux, `{"formula":"(G F a -> G F b) & (G F c -> G F d) & (G F e -> G F f)"}`)
 	if rr.Code != http.StatusServiceUnavailable {
@@ -108,7 +108,7 @@ func TestClassifyBudgetExceededIs503(t *testing.T) {
 // containing the engine, lazy-materialization, budget and panic-recovery
 // families.
 func TestMetricsExposesEngineCounters(t *testing.T) {
-	srv := newServer(nil, time.Minute)
+	srv := newServer(nil, time.Minute, 0)
 	mux := newTestMux(t, srv)
 	if rr, rec := postClassify(t, mux, `{"formula":"G p | F q"}`); rr.Code != http.StatusOK {
 		t.Fatalf("classify = %d: %v", rr.Code, rec)
@@ -155,7 +155,7 @@ func TestClassifyTraceJSONL(t *testing.T) {
 	obs.Attach(j)
 	defer obs.Detach()
 
-	srv := newServer(nil, time.Minute)
+	srv := newServer(nil, time.Minute, 0)
 	mux := newTestMux(t, srv)
 	rr, rec := postClassify(t, mux, `{"formula":"p U q"}`)
 	if rr.Code != http.StatusOK {
@@ -183,7 +183,7 @@ func TestStatusFor(t *testing.T) {
 }
 
 func TestProbeAgainstLiveMux(t *testing.T) {
-	ts := httptest.NewServer(newTestMux(t, newServer(nil, time.Minute)))
+	ts := httptest.NewServer(newTestMux(t, newServer(nil, time.Minute, 0)))
 	defer ts.Close()
 	var out bytes.Buffer
 	if err := runProbe(strings.TrimPrefix(ts.URL, "http://"), &out); err != nil {
@@ -191,5 +191,37 @@ func TestProbeAgainstLiveMux(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"status":"ok"`) || !strings.Contains(out.String(), "engine_cache_hits") {
 		t.Errorf("probe output incomplete:\n%.300s", out.String())
+	}
+}
+
+// TestClassifyReportsPlanAndBudget: responses carry the planner tier for
+// the compiled requirement plus the request's budget spend when the
+// daemon runs governed.
+func TestClassifyReportsPlanAndBudget(t *testing.T) {
+	srv := newServer(nil, time.Minute, 10_000)
+	mux := newTestMux(t, srv)
+
+	rr, rec := postClassify(t, mux, `{"formula":"G !(c1 & c2)"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("classify = %d: %v", rr.Code, rec)
+	}
+	if rec["plan"] != "safety" {
+		t.Errorf("plan = %v, want safety for an invariant", rec["plan"])
+	}
+	if reason, _ := rec["plan_reason"].(string); reason == "" {
+		t.Error("plan_reason should explain the tier choice")
+	}
+	if spent, _ := rec["budget_states"].(float64); spent <= 0 {
+		t.Errorf("budget_states = %v, want positive spend under -budget", rec["budget_states"])
+	}
+
+	// An ungoverned server omits the spend fields but still plans.
+	free := newServer(nil, time.Minute, 0)
+	_, rec = postClassify(t, newTestMux(t, free), `{"formula":"G F p"}`)
+	if rec["plan"] != "recurrence" {
+		t.Errorf("plan = %v, want recurrence for G F p", rec["plan"])
+	}
+	if _, present := rec["budget_states"]; present {
+		t.Error("budget_states should be omitted when the daemon is unlimited")
 	}
 }

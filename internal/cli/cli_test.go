@@ -1,0 +1,106 @@
+package cli_test
+
+import (
+	"context"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/ltl"
+)
+
+// TestRegisterMask checks that Register defines exactly the selected
+// flags, with the shared names.
+func TestRegisterMask(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cli.Register(fs, cli.FlagObs|cli.FlagJobs)
+	for _, name := range []string{"stats", "trace", "slow-op", "metrics-addr", "jobs"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s should be defined", name)
+		}
+	}
+	for _, name := range []string{"budget", "timeout"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("flag -%s should not be defined for this mask", name)
+		}
+	}
+}
+
+// TestRegisterParses checks values land in the Common fields.
+func TestRegisterParses(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := cli.Register(fs, cli.FlagAll)
+	err := fs.Parse([]string{"-stats", "-budget", "500", "-timeout", "2s", "-jobs", "3", "-slow-op", "10ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Stats || c.Budget != 500 || c.Timeout != 2*time.Second || c.Jobs != 3 || c.SlowOp != 10*time.Millisecond {
+		t.Fatalf("parsed Common %+v does not match the flags", c)
+	}
+}
+
+// TestEngineOptionsBudgetDerivation checks the shared 64x step-budget
+// derivation: an engine built from the options aborts a request that
+// exceeds the state cap with the typed budget sentinel.
+func TestEngineOptionsBudgetDerivation(t *testing.T) {
+	c := &cli.Common{Budget: 1}
+	eng := engine.New(c.EngineOptions()...)
+	_, err := eng.ClassifyFormula(context.Background(), ltl.MustParse("G (req -> F ack)"), nil)
+	if err == nil || !strings.Contains(err.Error(), budget.ErrBudgetExceeded.Error()) {
+		t.Fatalf("state budget 1 should abort the request with the budget sentinel, got %v", err)
+	}
+}
+
+// TestEngineOptionsZeroIsUnlimited checks that zero flags add no
+// governance and the request succeeds.
+func TestEngineOptionsZeroIsUnlimited(t *testing.T) {
+	c := &cli.Common{}
+	eng := engine.New(c.EngineOptions()...)
+	if _, err := eng.ClassifyFormula(context.Background(), ltl.MustParse("G (req -> F ack)"), nil); err != nil {
+		t.Fatalf("unlimited engine should classify, got %v", err)
+	}
+}
+
+// TestEngineOptionsExtra checks pass-through of tool-specific options.
+func TestEngineOptionsExtra(t *testing.T) {
+	c := &cli.Common{Jobs: 2}
+	opts := c.EngineOptions(engine.WithCacheSize(7))
+	if len(opts) != 2 {
+		t.Fatalf("want jobs + extra = 2 options, got %d", len(opts))
+	}
+}
+
+// TestContextTimeout checks that -timeout becomes a real deadline on
+// the derived context.
+func TestContextTimeout(t *testing.T) {
+	c := &cli.Common{Timeout: time.Minute}
+	ctx, cancel := c.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("Timeout > 0 should set a deadline")
+	}
+	c = &cli.Common{}
+	ctx, cancel = c.Context(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero Timeout should not set a deadline")
+	}
+}
+
+// TestSetupObsQuiet checks the no-flags path returns a working finish
+// function and writes nothing.
+func TestSetupObsQuiet(t *testing.T) {
+	var c cli.Common
+	finish, err := c.SetupObs(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}

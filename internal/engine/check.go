@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/budget"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/obs"
+	"repro/internal/omega"
+	"repro/internal/plan"
+	"repro/internal/ts"
+	"repro/internal/word"
+)
+
+var cntCheck = obs.NewCounter("engine.check.calls")
+
+// CheckKind selects the decision problem a Check request asks.
+type CheckKind int
+
+const (
+	// CheckContains asks L(left) ⊇ L(right); a false verdict carries a
+	// witness in L(right) − L(left).
+	CheckContains CheckKind = iota
+	// CheckEquivalent asks L(left) = L(right); a false verdict carries
+	// a word in the symmetric difference.
+	CheckEquivalent
+	// CheckEmptiness asks L(left) = ∅; a false verdict carries an
+	// accepted lasso.
+	CheckEmptiness
+	// CheckVerify asks sys ⊨ formula over the fair computations of
+	// System; a false verdict carries a counterexample Trace.
+	CheckVerify
+)
+
+// CheckRequest is the planner-backed query. Operands are given either
+// as automata (Left/Right) or as formulas (LeftFormula/RightFormula,
+// compiled over Props as in CompileFormula); CheckVerify instead takes
+// System and Formula.
+type CheckRequest struct {
+	Kind        CheckKind
+	Left, Right *omega.Automaton
+	LeftFormula ltl.Formula
+	// RightFormula is the second operand for containment/equivalence.
+	RightFormula ltl.Formula
+	Props        []string
+	System       *ts.System
+	Formula      ltl.Formula
+}
+
+// Verdict is a Check result: the answer plus its provenance — which
+// plan tier produced it, why, what it cost, and whether it came from
+// the memo cache or a fallback. Witness/Counterexample are populated
+// exactly when the verdict calls for one.
+type Verdict struct {
+	Holds   bool
+	Witness word.Lasso
+	// Counterexample is set only for failed CheckVerify requests.
+	Counterexample *mc.Trace
+	// Tier produced the verdict; Planned is what the planner chose
+	// (they differ only when Fallback is set).
+	Tier     plan.Tier
+	Planned  plan.Tier
+	Reason   string
+	Fallback bool
+	// Cached reports a memo-cache hit; the provenance fields then
+	// describe the run that populated the cache.
+	Cached bool
+	Cost   plan.Cost
+	// BudgetStates/BudgetSteps are the request's budget spend (0 when
+	// the engine runs without caps and the caller attached no budget).
+	BudgetStates, BudgetSteps int64
+}
+
+// Check runs one planned query under the engine's full governance
+// envelope: per-request budget, tracing, recovery boundary, memo cache.
+// It is the single entry point the free functions and both CLIs now go
+// through; Contains/Equivalent remain as thin wrappers.
+func (e *Engine) Check(ctx context.Context, req CheckRequest) (Verdict, error) {
+	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "Check")
+	cntCheck.Inc()
+	var v Verdict
+	err := capture("Check", func() (err error) {
+		v, err = e.check(ctx, req)
+		return
+	})
+	done(&err)
+	if err != nil {
+		return Verdict{}, wrapErr(err)
+	}
+	if b := budget.FromContext(ctx); b != nil {
+		v.BudgetStates, v.BudgetSteps = b.States(), b.Steps()
+	}
+	return v, nil
+}
+
+func (e *Engine) check(ctx context.Context, req CheckRequest) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, wrapErr(err)
+	}
+	resolve := func(a *omega.Automaton, f ltl.Formula) (*omega.Automaton, error) {
+		if a != nil {
+			return a, nil
+		}
+		if f == nil {
+			return nil, errors.New("engine: check request needs an automaton or formula per operand")
+		}
+		return e.compileFormula(ctx, f, req.Props)
+	}
+	switch req.Kind {
+	case CheckContains, CheckEquivalent:
+		a, err := resolve(req.Left, req.LeftFormula)
+		if err != nil {
+			return Verdict{}, err
+		}
+		b, err := resolve(req.Right, req.RightFormula)
+		if err != nil {
+			return Verdict{}, err
+		}
+		out, cached, err := e.contains(ctx, a, b)
+		if err != nil {
+			return Verdict{}, err
+		}
+		if req.Kind == CheckContains || !out.Holds {
+			return verdictOf(out, cached), nil
+		}
+		back, cached2, err := e.contains(ctx, b, a)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v := verdictOf(back, cached && cached2)
+		v.Fallback = out.Fallback || back.Fallback
+		return v, nil
+
+	case CheckEmptiness:
+		a, err := resolve(req.Left, req.LeftFormula)
+		if err != nil {
+			return Verdict{}, err
+		}
+		out, cached, err := e.emptiness(ctx, a)
+		if err != nil {
+			return Verdict{}, err
+		}
+		return verdictOf(out, cached), nil
+
+	case CheckVerify:
+		if req.System == nil || req.Formula == nil {
+			return Verdict{}, errors.New("engine: CheckVerify needs System and Formula")
+		}
+		res, out, err := plan.Verify(ctx, req.System, req.Formula)
+		if err != nil {
+			return Verdict{}, wrapErr(err)
+		}
+		v := verdictOf(out, false)
+		v.Holds = res.Holds
+		v.Counterexample = res.Counterexample
+		return v, nil
+	}
+	return Verdict{}, errors.New("engine: unknown check kind")
+}
+
+func verdictOf(out plan.Outcome, cached bool) Verdict {
+	return Verdict{
+		Holds:    out.Holds,
+		Witness:  out.Witness,
+		Tier:     out.Tier,
+		Planned:  out.Planned,
+		Reason:   out.Reason,
+		Fallback: out.Fallback,
+		Cached:   cached,
+		Cost:     out.Cost,
+	}
+}
+
+// Verify model-checks sys ⊨ f through the planner (invariant fast path
+// for □χ, fair-lasso search otherwise) under the engine envelope.
+func (e *Engine) Verify(ctx context.Context, sys *ts.System, f ltl.Formula) (mc.Result, error) {
+	v, err := e.Check(ctx, CheckRequest{Kind: CheckVerify, System: sys, Formula: f})
+	if err != nil {
+		return mc.Result{}, err
+	}
+	return mc.Result{Holds: v.Holds, Counterexample: v.Counterexample}, nil
+}
+
+// PlanAutomaton probes the automaton (memoized under its structural
+// key) and reports which tier its queries land in — the introspection
+// behind speccheck -explain and temporald's plan field.
+func (e *Engine) PlanAutomaton(ctx context.Context, a *omega.Automaton) (plan.Probe, plan.Decision, error) {
+	ctx = e.withBudget(ctx)
+	ctx, done := e.startRequest(ctx, "PlanAutomaton")
+	var p plan.Probe
+	err := capture("PlanAutomaton", func() (err error) {
+		p, err = e.probeAutomaton(ctx, a)
+		return
+	})
+	done(&err)
+	if err != nil {
+		return plan.Probe{}, plan.Decision{}, wrapErr(err)
+	}
+	return p, plan.DecideOperand(p), nil
+}
+
+// probeAutomaton memoizes plan.ProbeAutomaton per structural key. The
+// probe is pure evidence about one automaton, so unlike verdicts it can
+// be cached even when a later specialized run falls back.
+func (e *Engine) probeAutomaton(ctx context.Context, a *omega.Automaton) (plan.Probe, error) {
+	key := "probe|" + a.StructuralKey()
+	if v, ok := e.cacheGet(key); ok {
+		return v.(plan.Probe), nil
+	}
+	p, err := plan.ProbeAutomaton(ctx, a)
+	if err != nil {
+		return plan.Probe{}, wrapErr(err)
+	}
+	e.cachePut(key, p)
+	return p, nil
+}
+
+// emptiness runs a planned emptiness query with the same cache
+// discipline as contains: verdicts are memoized under the structural
+// key, fallback outcomes are not (the failure may have been injected,
+// and a cached fallback would hide the fast path forever).
+func (e *Engine) emptiness(ctx context.Context, a *omega.Automaton) (plan.Outcome, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return plan.Outcome{}, false, wrapErr(err)
+	}
+	key := "empty|" + a.StructuralKey()
+	if v, ok := e.cacheGet(key); ok {
+		return v.(plan.Outcome), true, nil
+	}
+	p, err := e.probeAutomaton(ctx, a)
+	if err != nil {
+		return plan.Outcome{}, false, err
+	}
+	out, err := plan.EmptinessWith(ctx, plan.DecideEmptiness(p), a)
+	if err != nil {
+		return plan.Outcome{}, false, wrapErr(err)
+	}
+	if !out.Fallback {
+		e.cachePut(key, out)
+	}
+	return out, false, nil
+}

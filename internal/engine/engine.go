@@ -34,6 +34,7 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/obs"
 	"repro/internal/omega"
+	"repro/internal/plan"
 	"repro/internal/word"
 )
 
@@ -374,49 +375,59 @@ func (e *Engine) ClassifyFormula(ctx context.Context, f ltl.Formula, props []str
 	return c, err
 }
 
-// containsResult is the memoized value of a containment query.
-type containsResult struct {
-	ok bool
-	w  word.Lasso
-}
-
 // Contains decides L(a) ⊇ L(b) exactly, memoized on the pair of
 // structural keys; the witness word of a failed containment is cached
-// alongside the verdict. Runs under the engine's budget and recovery
+// alongside the verdict. Since PR 7 the query routes through the
+// planner: both operands are probed (memoized per automaton) and a
+// class-specialized procedure answers when one is sound, with the lazy
+// Streett path as fallback. Runs under the engine's budget and recovery
 // boundary like ClassifyAutomaton.
 func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
 	ctx = e.withBudget(ctx)
 	ctx, done := e.startRequest(ctx, "Contains")
-	var (
-		ok bool
-		w  word.Lasso
-	)
+	var out plan.Outcome
 	err := capture("Contains", func() (err error) {
-		ok, w, err = e.contains(ctx, a, b)
+		out, _, err = e.contains(ctx, a, b)
 		return
 	})
 	done(&err)
 	if err != nil {
 		return false, word.Lasso{}, wrapErr(err)
 	}
-	return ok, w, nil
+	return out.Holds, out.Witness, nil
 }
 
-func (e *Engine) contains(ctx context.Context, a, b *omega.Automaton) (bool, word.Lasso, error) {
+// contains is the shared planned-containment core behind Contains,
+// Equivalent and Check. Verdicts are memoized with their provenance, so
+// a cache hit still reports which tier originally answered; fallback
+// outcomes are never cached — the failure that forced the fallback may
+// have been injected or transient, and caching would both hide the fast
+// path forever and freeze a verdict whose provenance says "something
+// went wrong".
+func (e *Engine) contains(ctx context.Context, a, b *omega.Automaton) (plan.Outcome, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return false, word.Lasso{}, wrapErr(err)
+		return plan.Outcome{}, false, wrapErr(err)
 	}
 	key := "contains|" + a.StructuralKey() + "|" + b.StructuralKey()
 	if v, ok := e.cacheGet(key); ok {
-		r := v.(containsResult)
-		return r.ok, r.w, nil
+		return v.(plan.Outcome), true, nil
 	}
-	ok, w, err := a.ContainsCtx(ctx, b)
+	pa, err := e.probeAutomaton(ctx, a)
 	if err != nil {
-		return false, word.Lasso{}, wrapErr(err)
+		return plan.Outcome{}, false, err
 	}
-	e.cachePut(key, containsResult{ok: ok, w: w})
-	return ok, w, nil
+	pb, err := e.probeAutomaton(ctx, b)
+	if err != nil {
+		return plan.Outcome{}, false, err
+	}
+	out, err := plan.ContainsWith(ctx, plan.DecideContains(pa, pb), a, b)
+	if err != nil {
+		return plan.Outcome{}, false, wrapErr(err)
+	}
+	if !out.Fallback {
+		e.cachePut(key, out)
+	}
+	return out, false, nil
 }
 
 // Equivalent decides exact language equality as containment both ways,

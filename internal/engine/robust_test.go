@@ -306,14 +306,24 @@ func TestContainsUnderBudget(t *testing.T) {
 // cache, and the warm retry matches a fresh engine.
 func TestContainsUnderLazyFault(t *testing.T) {
 	defer fault.Reset()
-	ab := alphabet.MustLetters("ab")
-	// Containment holds, so the lazy path must explore the full product —
-	// plenty of hits at the lazy site for the injection to land on.
-	a, b := gen.NestedCounters(ab, 3, 4)
+	// Mixed Streett pairs (strong-fairness shape) on the container defeat
+	// every planner probe, so the query runs on the lazy Streett path
+	// where the fault site sits. Containment holds, so the lazy path must
+	// explore the full product — plenty of hits at the lazy site for the
+	// injection to land on.
 	eng := engine.New()
+	props := []string{"p", "q", "r", "s"}
+	a, err := eng.CompileFormula(context.Background(), ltl.MustParse("(G F p -> G F q) & (G F r -> G F s)"), props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.CompileFormula(context.Background(), ltl.MustParse("G F q & G F s"), props)
+	if err != nil {
+		t.Fatal(err)
+	}
 	boom := errors.New("injected lazy fault")
 	cleanup := fault.InjectError(fault.SiteOmegaLazy, 5, boom)
-	_, _, err := eng.Contains(context.Background(), a, b)
+	_, _, err = eng.Contains(context.Background(), a, b)
 	cleanup()
 	if !errors.Is(err, boom) {
 		t.Fatalf("faulted containment should surface the injection, got %v", err)
@@ -323,7 +333,7 @@ func TestContainsUnderLazyFault(t *testing.T) {
 		t.Fatalf("warm retry after lazy fault: %v", err)
 	}
 	if !ok {
-		t.Fatalf("NestedCounters containment must hold, got witness %v", w)
+		t.Fatalf("conjoined fairness containment must hold, got witness %v", w)
 	}
 	wantOK, _, err := engine.New().Contains(context.Background(), a, b)
 	if err != nil {

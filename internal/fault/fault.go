@@ -34,6 +34,7 @@ const (
 	SiteOmegaMerge     = "omega.mergebuchi"   // per counter-merge state
 	SiteEngineTask     = "engine.task"        // per pool task started
 	SiteEngineBatch    = "engine.batch.item"  // per batch item started
+	SitePlan           = "plan.specialized"   // per class-specialized fast path entered
 )
 
 // armed short-circuits Hit while nothing is injected.

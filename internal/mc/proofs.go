@@ -1,8 +1,10 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/eval"
 	"repro/internal/ltl"
 	"repro/internal/ts"
@@ -29,6 +31,14 @@ func StateHolds(sys *ts.System, state int, f ltl.Formula) (bool, error) {
 // finite path from an initial state to a violating state — the
 // counterexample prefix that safety properties always have.
 func Invariant(sys *ts.System, chi ltl.Formula) (bool, []int, error) {
+	return InvariantCtx(context.Background(), sys, chi)
+}
+
+// InvariantCtx is Invariant with resource governance: each explored
+// system state is charged against the context's budget and cancellation
+// is polled, so the planner can run the invariant fast path under the
+// same envelope as the general model checker.
+func InvariantCtx(ctx context.Context, sys *ts.System, chi ltl.Formula) (bool, []int, error) {
 	if !ltl.IsStateFormula(chi) {
 		return false, nil, fmt.Errorf("mc: invariant %v is not a state formula", chi)
 	}
@@ -45,6 +55,12 @@ func Invariant(sys *ts.System, chi ltl.Formula) (bool, []int, error) {
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
+		if err := budget.Poll(ctx, 0); err != nil {
+			return false, nil, err
+		}
+		if err := budget.ChargeStates(ctx, 1); err != nil {
+			return false, nil, err
+		}
 		ok, err := StateHolds(sys, s, chi)
 		if err != nil {
 			return false, nil, err

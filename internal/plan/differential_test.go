@@ -1,0 +1,302 @@
+package plan_test
+
+// Differential suite for the query planner: the planned containment and
+// emptiness procedures are diffed against the lazy and eager Streett
+// oracles over (1) purpose-built families that land on every specialized
+// tier and (2) random Streett corpora, and the fallback discipline is
+// proved under fault injection at the specialized entry.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/lang"
+	"repro/internal/obs"
+	"repro/internal/omega"
+	"repro/internal/plan"
+	"repro/internal/word"
+)
+
+// diffN scales the random corpora.
+func diffN(t *testing.T) int {
+	if testing.Short() {
+		return 150
+	}
+	return 1500
+}
+
+// tierFamilies builds, per specialized tier, a family of automata whose
+// pairwise containments the planner answers on that tier (the safety
+// tier needs only the container, so its family doubles as a cross-class
+// exerciser when paired with anything).
+func tierFamilies(t *testing.T) map[plan.Tier][]*omega.Automaton {
+	t.Helper()
+	exprs := []string{"a.*", ".*b", "a*", ".*ba*", "b^+", "(ab)*a", ".*a.*"}
+	props := make([]*lang.Property, len(exprs))
+	for i, e := range exprs {
+		props[i] = prop(t, e)
+	}
+	fam := map[plan.Tier][]*omega.Automaton{}
+	for _, p := range props {
+		fam[plan.TierSafety] = append(fam[plan.TierSafety], lang.A(p))
+		fam[plan.TierGuarantee] = append(fam[plan.TierGuarantee], lang.E(p))
+		fam[plan.TierRecurrence] = append(fam[plan.TierRecurrence], lang.R(p))
+		fam[plan.TierPersistence] = append(fam[plan.TierPersistence], lang.P(p))
+	}
+	for i := 0; i+1 < len(props); i++ {
+		ob, err := lang.SimpleObligation(props[i], props[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fam[plan.TierObligation] = append(fam[plan.TierObligation], ob)
+	}
+	return fam
+}
+
+// checkContainsWitness checks a false verdict's lasso separates the
+// languages: w ∈ L(b) − L(a).
+func checkContainsWitness(t *testing.T, label string, a, b *omega.Automaton, w word.Lasso) {
+	t.Helper()
+	if w.IsZero() {
+		t.Fatalf("%s: false verdict carries the zero lasso", label)
+	}
+	inB, err := b.Accepts(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA, err := a.Accepts(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inB || inA {
+		t.Fatalf("%s: witness %v not in L(b)−L(a) (inB=%v inA=%v)\na:\n%s\nb:\n%s",
+			label, w, inB, inA, a.Text(), b.Text())
+	}
+}
+
+// diffContains runs one planned containment and diffs verdict and
+// witness against the lazy and eager oracles. Returns the outcome for
+// callers asserting provenance.
+func diffContains(t *testing.T, label string, a, b *omega.Automaton) plan.Outcome {
+	t.Helper()
+	out, err := plan.Contains(context.Background(), a, b)
+	if err != nil {
+		t.Fatalf("%s: planned: %v", label, err)
+	}
+	lazyOK, _, err := a.Contains(b)
+	if err != nil {
+		t.Fatalf("%s: lazy: %v", label, err)
+	}
+	eagerOK, _, err := a.ContainsEager(b)
+	if err != nil {
+		t.Fatalf("%s: eager: %v", label, err)
+	}
+	if lazyOK != eagerOK {
+		t.Fatalf("%s: oracles disagree (lazy %v, eager %v)", label, lazyOK, eagerOK)
+	}
+	if out.Holds != eagerOK {
+		t.Fatalf("%s: planned verdict %v on tier %v, oracle %v\na:\n%s\nb:\n%s",
+			label, out.Holds, out.Tier, eagerOK, a.Text(), b.Text())
+	}
+	if !out.Holds {
+		checkContainsWitness(t, label+" (planned)", a, b, out.Witness)
+	} else if !out.Witness.IsZero() {
+		t.Fatalf("%s: true verdict carries non-zero lasso %v", label, out.Witness)
+	}
+	return out
+}
+
+// TestDifferentialTierFamilies diffs planned containment over all pairs
+// within each tier family, so every specialized procedure runs. Every
+// pair must be answered on some specialized tier (never the Streett
+// pass-through), and the family's own tier must be planned for at least
+// one pair — some fixtures legitimately land cheaper (e.g. E("a.*") is
+// "starts with a", a clopen language, so its probe also reports Safety
+// and the planner rightly prefers the safety tier).
+func TestDifferentialTierFamilies(t *testing.T) {
+	for tier, family := range tierFamilies(t) {
+		sawOwn := false
+		for i, a := range family {
+			for j, b := range family {
+				label := tier.String() + " pair " + itoa(i) + "," + itoa(j)
+				out := diffContains(t, label, a, b)
+				if out.Fallback {
+					t.Fatalf("%s: unexpected fallback: %s", label, out.Reason)
+				}
+				if out.Planned == plan.TierStreett {
+					t.Fatalf("%s: planned the Streett pass-through; family should carry class evidence", label)
+				}
+				sawOwn = sawOwn || out.Planned == tier
+			}
+		}
+		if !sawOwn {
+			t.Errorf("family %v: no pair planned its own tier", tier)
+		}
+	}
+}
+
+// TestDifferentialCrossFamilies diffs containment across tiers: a
+// safety container plans TierSafety whatever the contained operand is;
+// other cross pairs fall through to the general path. Either way the
+// verdict must match the oracle.
+func TestDifferentialCrossFamilies(t *testing.T) {
+	fam := tierFamilies(t)
+	tiers := []plan.Tier{plan.TierSafety, plan.TierGuarantee, plan.TierObligation, plan.TierRecurrence, plan.TierPersistence}
+	for _, ta := range tiers {
+		for _, tb := range tiers {
+			if ta == tb {
+				continue
+			}
+			a, b := fam[ta][0], fam[tb][1]
+			out := diffContains(t, ta.String()+"⊇"+tb.String(), a, b)
+			if ta == plan.TierSafety && out.Planned != plan.TierSafety {
+				t.Errorf("safety container planned %v, want safety regardless of the contained operand", out.Planned)
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomStreett diffs planned containment against the
+// oracles over random Streett pairs. Most pairs carry no class
+// evidence and exercise the pass-through; the rest exercise specialized
+// paths on arbitrary (not purpose-built) structure.
+func TestDifferentialRandomStreett(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	tiers := map[plan.Tier]int{}
+	for i := 0; i < diffN(t); i++ {
+		n1, n2 := 2+rng.Intn(3), 2+rng.Intn(3)
+		a := gen.RandomStreett(rng, ab, n1, 1+rng.Intn(2), 0.4, 0.4)
+		b := gen.RandomStreett(rng, ab, n2, 1+rng.Intn(2), 0.4, 0.4)
+		out := diffContains(t, "random pair "+itoa(i), a, b)
+		tiers[out.Tier]++
+	}
+	if len(tiers) < 2 {
+		t.Errorf("random corpus landed on tiers %v only — corpus no longer exercises the planner", tiers)
+	}
+}
+
+// TestDifferentialEmptiness diffs planned emptiness against the Streett
+// oracle over every family automaton, random automata, and the empty
+// variants obtained by intersecting a property with its complement.
+func TestDifferentialEmptiness(t *testing.T) {
+	var autos []*omega.Automaton
+	for _, family := range tierFamilies(t) {
+		autos = append(autos, family...)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < diffN(t)/4; i++ {
+		autos = append(autos, gen.RandomStreett(rng, ab, 2+rng.Intn(4), 1+rng.Intn(2), 0.4, 0.4))
+	}
+	// Purpose-built empty languages on specialized tiers: A/E/R/P of the
+	// empty finitary property.
+	none, err := prop(t, "a").Intersect(prop(t, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos = append(autos, lang.A(none), lang.E(none), lang.R(none), lang.P(none))
+
+	for i, a := range autos {
+		out, err := plan.Emptiness(context.Background(), a)
+		if err != nil {
+			t.Fatalf("auto %d: planned emptiness: %v", i, err)
+		}
+		w, nonEmpty := a.WitnessLasso()
+		_ = w
+		if out.Holds != !nonEmpty {
+			t.Fatalf("auto %d: planned empty=%v on tier %v, oracle empty=%v\n%s",
+				i, out.Holds, out.Tier, !nonEmpty, a.Text())
+		}
+		if out.Fallback {
+			t.Fatalf("auto %d: unexpected fallback: %s", i, out.Reason)
+		}
+		if !out.Holds {
+			ok, err := a.Accepts(out.Witness)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("auto %d: emptiness witness %v rejected by its own automaton\n%s", i, out.Witness, a.Text())
+			}
+		}
+	}
+}
+
+// TestFallbackUnderPlanFault proves the fallback discipline: a fault
+// injected at the specialized entry must not corrupt the verdict — the
+// planner falls back to the Streett path, reports Fallback with the
+// failure in the reason, and bumps plan.fallbacks.
+func TestFallbackUnderPlanFault(t *testing.T) {
+	defer fault.Reset()
+	fam := tierFamilies(t)
+	for tier, family := range fam {
+		a, b := family[0], family[1]
+		// The decision the planner will make, computed before injecting:
+		// provenance must keep it as Planned after the fallback.
+		pa, err := plan.ProbeAutomaton(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := plan.ProbeAutomaton(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned := plan.DecideContains(pa, pb).Tier
+		if planned == plan.TierStreett {
+			t.Fatalf("%v: family pair carries no class evidence, fault site would not be reached", tier)
+		}
+		want, _, err := a.ContainsEager(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := obs.Default().Counter("plan.fallbacks").Value()
+		boom := errors.New("injected specialized-path fault")
+		cleanup := fault.InjectError(fault.SitePlan, 1, boom)
+		out, err := plan.Contains(context.Background(), a, b)
+		cleanup()
+		if err != nil {
+			t.Fatalf("%v: fault should fall back, not error: %v", tier, err)
+		}
+		if !out.Fallback {
+			t.Fatalf("%v: outcome not marked Fallback: %+v", tier, out)
+		}
+		if out.Tier != plan.TierStreett || out.Planned != planned {
+			t.Fatalf("%v: provenance Tier=%v Planned=%v, want streett/%v", tier, out.Tier, out.Planned, planned)
+		}
+		if out.Holds != want {
+			t.Fatalf("%v: fallback verdict %v != oracle %v", tier, out.Holds, want)
+		}
+		if after := obs.Default().Counter("plan.fallbacks").Value(); after != before+1 {
+			t.Fatalf("%v: plan.fallbacks %d -> %d, want +1", tier, before, after)
+		}
+	}
+}
+
+// TestGovernanceErrorPropagates: a budget-shaped error at the
+// specialized entry must NOT fall back (retrying elsewhere would evade
+// the governance decision) — it propagates to the caller.
+func TestGovernanceErrorPropagates(t *testing.T) {
+	defer fault.Reset()
+	fam := tierFamilies(t)
+	a, b := fam[plan.TierSafety][0], fam[plan.TierSafety][1]
+	boom := context.DeadlineExceeded
+	cleanup := fault.InjectError(fault.SitePlan, 1, boom)
+	_, err := plan.Contains(context.Background(), a, b)
+	cleanup()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("governance error should propagate, got %v", err)
+	}
+}
+
+func itoa(i int) string {
+	if i < 0 {
+		return "-" + itoa(-i)
+	}
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + itoa(i%10)
+}

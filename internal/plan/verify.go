@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+)
+
+// DecideVerify plans a model-checking query sys ⊨ f. The invariant fast
+// path applies exactly when f is □χ for a state formula χ: safety of
+// the property means fairness is irrelevant to violations, so plain
+// reachability of ¬χ decides — the paper's invariance rule instead of
+// the fair-lasso search.
+func DecideVerify(f ltl.Formula) Decision {
+	if al, ok := f.(ltl.Always); ok && ltl.IsStateFormula(al.F) {
+		return Decision{TierSafety, "□χ with state formula χ: invariant check by reachability, no fairness analysis"}
+	}
+	return Decision{TierStreett, "not an invariant form: fair-lasso search over the negation automaton"}
+}
+
+// Verify plans and runs a model-checking query. The fast path decides
+// the verdict; a counterexample, when one is needed, still comes from
+// the full model checker so the Trace carries a fair lasso rather than
+// a bare bad prefix (a reachable ¬χ state always lies on some fair
+// computation — fairness never blocks a safety violation — so the two
+// procedures agree on the verdict).
+func Verify(ctx context.Context, sys *ts.System, f ltl.Formula) (mc.Result, Outcome, error) {
+	d := DecideVerify(f)
+	out := Outcome{Tier: d.Tier, Planned: d.Tier, Reason: d.Reason}
+	pathCounter(d.Tier)
+	if d.Tier == TierSafety {
+		holds, err := runVerifyInvariant(ctx, sys, f)
+		switch {
+		case err == nil && holds:
+			out.Holds = true
+			return mc.Result{Holds: true}, out, nil
+		case err == nil:
+			// Violated: delegate counterexample extraction to the full
+			// checker, keeping the invariant tier as provenance.
+			res, verr := mc.VerifyCtx(ctx, sys, f)
+			if verr != nil {
+				return mc.Result{}, Outcome{}, verr
+			}
+			return res, out, nil
+		case governance(err):
+			return mc.Result{}, Outcome{}, err
+		}
+		cntFallbacks.Inc()
+		out.Fallback = true
+		out.Tier = TierStreett
+		out.Reason = fmt.Sprintf("%s; invariant path failed, fell back to full model checking", d.Reason)
+	}
+	res, err := mc.VerifyCtx(ctx, sys, f)
+	if err != nil {
+		return mc.Result{}, Outcome{}, err
+	}
+	out.Holds = res.Holds
+	return res, out, nil
+}
+
+func runVerifyInvariant(ctx context.Context, sys *ts.System, f ltl.Formula) (bool, error) {
+	if err := fault.Hit(fault.SitePlan); err != nil {
+		return false, err
+	}
+	holds, _, err := mc.InvariantCtx(ctx, sys, f.(ltl.Always).F)
+	return holds, err
+}

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Benchmark harness for the automaton kernel, lazy exploration and
-# observability layers (PR 6).
+# Benchmark harness for the automaton kernel, lazy exploration,
+# observability and query-planner layers (PR 7).
 #
 # Runs the curated benchmark set — the BenchmarkLazy* eager-vs-lazy
 # families and the BenchmarkAlloc* allocation benchmarks over the
 # product-heavy generators in internal/gen, the pipeline benchmarks that
-# exercise containment/equivalence and the model checker end to end, and
-# the BenchmarkObs* observability-overhead probes — and converts the
-# output into a JSON snapshot via cmd/benchjson, which also enforces the
-# lazy-vs-eager gate: on the shallow-witness families, the lazy path must
-# materialize at most half the states the eager oracle does.
+# exercise containment/equivalence and the model checker end to end, the
+# BenchmarkObs* observability-overhead probes, and the BenchmarkPlan*
+# planner families (planned fast path vs lazy/eager Streett per
+# hierarchy class) — and converts the output into a JSON snapshot via
+# cmd/benchjson, which also enforces the lazy-vs-eager gate: on the
+# shallow-witness families, the lazy path must materialize at most half
+# the states the eager oracle does. The full run additionally gates the
+# planner's safety family: the planned bad-prefix procedure must be at
+# least 2x faster than the lazy Streett path on the same query.
 #
 # The obs-disabled benchmarks are the free-when-off contract in numbers:
 # they run at a fixed large iteration count (their ops are nanoseconds,
@@ -17,10 +21,11 @@
 # or disabled span on the hot path must stay free.
 #
 #   scripts/bench.sh          full run: real benchtime, ns gate, writes
-#                             BENCH_pr6.json, and fails on >20% ns/op or
+#                             BENCH_pr7.json, and fails on >20% ns/op or
 #                             allocs/op regression against the previous
-#                             snapshot (BENCH_pr5.json), plus the 5% obs
-#                             overhead gate
+#                             snapshot (BENCH_pr6.json), plus the 5% obs
+#                             overhead gate and the 2x planner safety
+#                             gate
 #   scripts/bench.sh -quick   smoke run (benchtime=1x): each benchmark
 #                             executes once and only the deterministic
 #                             states/op gate is enforced — this is what
@@ -33,9 +38,9 @@ if [ "${1:-}" = "-quick" ]; then
     MODE=quick
 fi
 
-SNAP=BENCH_pr6.json
-PREV=BENCH_pr5.json
-CURATED='^(BenchmarkLazy|BenchmarkAlloc|BenchmarkObs|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
+SNAP=BENCH_pr7.json
+PREV=BENCH_pr6.json
+CURATED='^(BenchmarkLazy|BenchmarkAlloc|BenchmarkObs|BenchmarkPlan|BenchmarkEquivalent$|BenchmarkVerifyPeterson$|BenchmarkVerifySemaphore$|BenchmarkE14ModelCheck$)'
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -44,7 +49,7 @@ if [ "$MODE" = "quick" ]; then
     go test -run '^$' -bench "$CURATED" -benchtime 1x -benchmem . > "$tmp/bench.txt"
     # 1x timings are noise: enforce only the deterministic states/op
     # contract and write the snapshot to a scratch path.
-    go run ./cmd/benchjson -pr pr6-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
+    go run ./cmd/benchjson -pr pr7-quick -i "$tmp/bench.txt" -o "$tmp/bench.json"
     echo "bench smoke ok"
     exit 0
 fi
@@ -60,14 +65,14 @@ go test -run '^$' -bench '^BenchmarkObs' -benchtime 100000x -benchmem -count 3 .
 grep -v '^BenchmarkObs' "$tmp/bench.txt" > "$tmp/merged.txt"
 cat "$tmp/obs.txt" >> "$tmp/merged.txt"
 
-args=(-pr pr6 -i "$tmp/merged.txt" -o "$tmp/bench.json" -ns-gate)
+args=(-pr pr7 -i "$tmp/merged.txt" -o "$tmp/bench.json" -ns-gate)
 if [ -f "$SNAP" ]; then
-    # Re-runs gate against the committed pr6 snapshot before replacing it.
+    # Re-runs gate against the committed pr7 snapshot before replacing it.
     args+=(-compare "$SNAP" -tolerance 0.2)
 elif [ -f "$PREV" ]; then
-    # First pr6 run gates against the previous PR's snapshot (which has
-    # no BenchmarkObs entries, so the obs gate below starts biting once
-    # BENCH_pr6.json is committed).
+    # First pr7 run gates against the previous PR's snapshot (which has
+    # no BenchmarkPlan entries, so the planner gate below starts from
+    # this run's own figures).
     args+=(-compare "$PREV" -tolerance 0.2)
 fi
 go run ./cmd/benchjson "${args[@]}"
@@ -78,11 +83,27 @@ go run ./cmd/benchjson "${args[@]}"
 if [ -f "$SNAP" ]; then
     grep '^BenchmarkObsDisabled' "$tmp/obs.txt" > "$tmp/obsgate.txt" || true
     if [ -s "$tmp/obsgate.txt" ]; then
-        go run ./cmd/benchjson -pr pr6-obs -i "$tmp/obsgate.txt" -o /dev/null \
+        go run ./cmd/benchjson -pr pr7-obs -i "$tmp/obsgate.txt" -o /dev/null \
             -compare "$SNAP" -tolerance 0.05 -allocs-tolerance 0 -lazy-gate ''
         echo "obs overhead gate ok (≤5% vs $SNAP)"
     fi
 fi
+
+# Planner safety gate: on the safety-class containment family the
+# planned bad-prefix reachability must be >=2x faster than the lazy
+# Streett path run on the identical query. Averaged over -count runs.
+echo "== planner safety gate (planned <= lazy/2) =="
+planned_ns=$(awk '$1 ~ /^BenchmarkPlanSafetyContains\/planned/ { s += $3; n++ } END { if (n) printf "%.1f", s / n }' "$tmp/merged.txt")
+lazy_ns=$(awk '$1 ~ /^BenchmarkPlanSafetyContains\/lazy/ { s += $3; n++ } END { if (n) printf "%.1f", s / n }' "$tmp/merged.txt")
+if [ -z "$planned_ns" ] || [ -z "$lazy_ns" ]; then
+    echo "planner safety gate: BenchmarkPlanSafetyContains missing from bench output" >&2
+    exit 1
+fi
+if awk -v p="$planned_ns" -v l="$lazy_ns" 'BEGIN { exit !(2 * p > l) }'; then
+    echo "planner safety gate: planned ${planned_ns} ns/op vs lazy ${lazy_ns} ns/op — less than 2x" >&2
+    exit 1
+fi
+echo "planner safety gate ok (planned ${planned_ns} ns/op, lazy ${lazy_ns} ns/op)"
 
 mv "$tmp/bench.json" "$SNAP"
 echo "wrote $SNAP"

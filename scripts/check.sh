@@ -51,6 +51,10 @@ cov_floor ./internal/mc/ 87
 # untested branches here fail silently in production scrapes.
 cov_floor ./internal/obs/ 85
 cov_floor ./internal/obshttp/ 92
+# The planner picks which decision procedure answers a query; a wrong
+# untested branch here silently routes queries to the wrong algorithm.
+cov_floor ./internal/plan/ 85
+cov_floor ./internal/cli/ 80
 
 # Graph-algorithm lint: SCC decomposition, reachability closures and
 # state-pair/key interning live in internal/autkern only. A new Tarjan
@@ -71,6 +75,22 @@ if [ -n "$hits" ]; then
 fi
 [ "$lint_fail" -eq 0 ] || exit 1
 echo "autkern lint ok"
+
+# Planner lint: production code must route containment through the
+# planner (plan.Contains / engine Check), which falls back to the eager
+# oracle itself when probes carry no class evidence. Direct
+# ContainsEager calls are for the oracle's own home (internal/omega),
+# the planner's fallback path (internal/plan) and differential tests.
+echo "== planner lint =="
+hits=$(grep -rn --include='*.go' 'ContainsEager' internal cmd ./*.go \
+    | grep -v '^internal/omega/' | grep -v '^internal/plan/' \
+    | grep -v '_test\.go:' || true)
+if [ -n "$hits" ]; then
+    echo "direct ContainsEager outside internal/omega|internal/plan (route through plan.Contains or engine Check):" >&2
+    echo "$hits" >&2
+    exit 1
+fi
+echo "planner lint ok"
 
 # Benchmark smoke: every benchmark must still run (one iteration each),
 # and bench.sh's quick mode enforces the deterministic lazy-vs-eager
@@ -130,7 +150,8 @@ fi
 daemon_addr=$(cat "$tmp/addr")
 probe_out=$("$tmp/temporald" -probe "$daemon_addr")
 for metric in engine_cache_hits engine_cache_misses \
-    omega_lazy_states_materialized budget_exceeded engine_panics_recovered; do
+    omega_lazy_states_materialized budget_exceeded engine_panics_recovered \
+    plan_fallbacks; do
     if ! grep -q "$metric" <<<"$probe_out"; then
         echo "temporald /metrics missing $metric" >&2
         kill "$temporald_pid" 2>/dev/null || true

@@ -183,8 +183,16 @@ func HoldsAt(f Formula, w Word, j int) (bool, error) { return eval.At(f, w, j) }
 func EndSatisfies(p Formula, w FiniteWord) (bool, error) { return eval.EndSatisfies(p, w) }
 
 // DecomposeSL returns the safety closure and liveness extension with
-// Π = Π_S ∩ Π_L.
-func DecomposeSL(a *Automaton) SLParts { return core.DecomposeSL(a) }
+// Π = Π_S ∩ Π_L. It is the context.Background() form of DecomposeSLCtx.
+func DecomposeSL(a *Automaton) SLParts {
+	parts, _ := DecomposeSLCtx(context.Background(), a)
+	return parts
+}
+
+// DecomposeSLCtx is DecomposeSL with cooperative cancellation.
+func DecomposeSLCtx(ctx context.Context, a *Automaton) (SLParts, error) {
+	return core.DecomposeSLCtx(ctx, a)
+}
 
 // IsLiveness reports whether the property is a liveness property.
 func IsLiveness(a *Automaton) bool { return core.IsLiveness(a) }
@@ -228,11 +236,26 @@ func Semaphore(acquireFair Fairness) (*System, error) { return ts.Semaphore(acqu
 // TrivialMutex returns the do-nothing "mutex" of the introduction.
 func TrivialMutex() (*System, error) { return ts.TrivialMutex() }
 
-// Verify model-checks sys ⊨ f over fair computations.
-func Verify(sys *System, f Formula) (Result, error) { return mc.Verify(sys, f) }
+// Verify model-checks sys ⊨ f over fair computations. It is the
+// convenience form of VerifyCtx on the default engine, which routes
+// through the hierarchy-aware planner: □χ invariants are decided by
+// plain reachability, everything else by the fair-lasso search.
+func Verify(sys *System, f Formula) (Result, error) {
+	return VerifyCtx(context.Background(), sys, f)
+}
 
 // Invariant checks □χ by reachability (the safety proof obligation).
-func Invariant(sys *System, chi Formula) (bool, []int, error) { return mc.Invariant(sys, chi) }
+// It is the context.Background() form of InvariantCtx.
+func Invariant(sys *System, chi Formula) (bool, []int, error) {
+	return InvariantCtx(context.Background(), sys, chi)
+}
+
+// InvariantCtx is Invariant with cooperative cancellation and
+// budgeting: each explored system state is charged to the context's
+// budget.
+func InvariantCtx(ctx context.Context, sys *System, chi Formula) (bool, []int, error) {
+	return mc.InvariantCtx(ctx, sys, chi)
+}
 
 // CheckInductive applies the paper's invariance proof rule to a candidate
 // state invariant.
