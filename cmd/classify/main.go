@@ -78,17 +78,25 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	ctx, cancel := common.Context(context.Background())
 	defer cancel()
-	err = dispatch(ctx, fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, common, stdout)
+	err = dispatch(ctx, fs, *autFile, *batchFile, *op, *regexExpr, *alphaStr, *props, common, stdout, stderr)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func dispatch(ctx context.Context, fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, common *cli.Common, stdout io.Writer) error {
+func dispatch(ctx context.Context, fs *flag.FlagSet, autFile, batchFile, op, regexExpr, alphaStr, props string, common *cli.Common, stdout, stderr io.Writer) (err error) {
 	// One engine per invocation: a CLI run is one-shot, so the memo cache
-	// only serves within-run sharing (batch dedup, repeated subterms).
+	// only serves within-run sharing (batch dedup, repeated subterms) —
+	// but with -store, verdicts additionally warm-start from and persist
+	// to the verdict log, so repeated invocations share work on disk.
 	eng := temporal.NewEngine(common.EngineOptions()...)
+	eng.RegisterStatsGauges(nil)
+	defer func() {
+		if ferr := common.FinishEngine(eng, stderr); err == nil {
+			err = ferr
+		}
+	}()
 	if batchFile != "" {
 		return classifyBatch(ctx, batchFile, props, eng, stdout)
 	}

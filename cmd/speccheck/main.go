@@ -27,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -64,14 +65,14 @@ func run(args []string) (code int, err error) {
 	}
 	ctx, cancel := common.Context(context.Background())
 	defer cancel()
-	code, err = check(ctx, fs, *file, *explain, common)
+	code, err = check(ctx, fs, *file, *explain, common, os.Stderr)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return code, err
 }
 
-func check(ctx context.Context, fs *flag.FlagSet, file string, explain bool, common *cli.Common) (int, error) {
+func check(ctx context.Context, fs *flag.FlagSet, file string, explain bool, common *cli.Common, stderr io.Writer) (code int, err error) {
 	var inputs []string
 	if file != "" {
 		f, err := os.Open(file)
@@ -108,6 +109,12 @@ func check(ctx context.Context, fs *flag.FlagSet, file string, explain bool, com
 		reqs[i] = temporal.BatchRequest{Formula: f}
 	}
 	eng := temporal.NewEngine(common.EngineOptions()...)
+	eng.RegisterStatsGauges(nil)
+	defer func() {
+		if ferr := common.FinishEngine(eng, stderr); err == nil {
+			err = ferr
+		}
+	}()
 	results := eng.Batch(ctx, reqs)
 
 	counts := map[temporal.Class]int{}

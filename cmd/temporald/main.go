@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -48,17 +49,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cache := fs.Int("cache", 0, "engine memo-cache entries (0 = default)")
 	slowOpLog := fs.String("slow-op-log", "", "slow-op JSONL destination (default stderr)")
 	probe := fs.String("probe", "", "client mode: GET /healthz and /metrics from a running daemon at this address, print to stdout, exit")
+	probeClassify := fs.String("classify", "", "with -probe: POST this formula to /classify first and print the response (a curl-free smoke client)")
 	// The daemon shares the fleet-wide -jobs/-budget/-trace/-slow-op
-	// knobs but owns -timeout: it is a per-request deadline here, not a
-	// run deadline, so it is bound directly with its own default.
-	common := cli.Register(fs, cli.FlagJobs|cli.FlagBudget|cli.FlagTrace|cli.FlagSlowOp)
+	// knobs (plus -store for cross-restart warm starts) but owns
+	// -timeout: it is a per-request deadline here, not a run deadline, so
+	// it is bound directly with its own default.
+	common := cli.Register(fs, cli.FlagJobs|cli.FlagBudget|cli.FlagTrace|cli.FlagSlowOp|cli.FlagStore)
 	fs.DurationVar(&common.Timeout, "timeout", 30*time.Second, "per-request wall-clock deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *probe != "" {
-		return runProbe(*probe, stdout)
+		return runProbe(*probe, *probeClassify, stdout)
 	}
 
 	if *slowOpLog != "" {
@@ -79,7 +82,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// readable per response), not via engine options: only cache and
 	// parallelism configure the shared engine.
 	srv := newServer(common.EngineOptions(cacheOpts(*cache)...), common.Timeout, common.Budget)
-	mux := obshttp.NewMux(nil)
+	srv.eng.RegisterStatsGauges(nil)
+	mux := obshttp.NewMux(nil, srv.storeHealth)
 	mux.Handle("/classify", srv)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -104,7 +108,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "temporald: %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return httpSrv.Shutdown(ctx)
+		err := httpSrv.Shutdown(ctx)
+		// In-flight requests are done; flush write-behind verdicts so the
+		// next boot warm-starts from everything this process computed.
+		if ferr := common.FinishEngine(srv.eng, stderr); err == nil {
+			err = ferr
+		}
+		return err
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
@@ -136,6 +146,22 @@ func newServer(opts []temporal.EngineOption, timeout time.Duration, budgetStates
 		budgetStates: budgetStates,
 		histLatency:  obs.NewHistogram("temporald.classify.latency_us"),
 	}
+}
+
+// storeHealth contributes the verdict store's circuit state to
+// /healthz: whether the persistent tier is serving, how many records it
+// holds, and — when it has self-disabled — why. Daemons without -store
+// report enabled=false with an empty reason.
+func (s *server) storeHealth() map[string]any {
+	st := s.eng.StoreStats()
+	h := map[string]any{
+		"store_enabled": st.Enabled,
+		"store_records": st.Records,
+	}
+	if st.Reason != "" {
+		h["store_reason"] = st.Reason
+	}
+	return h
 }
 
 // classifyRequest is the POST /classify body.
@@ -278,10 +304,31 @@ func statusFor(err error) int {
 }
 
 // runProbe is the -probe client mode: it fetches /healthz and /metrics
-// from a running daemon and prints both to stdout. scripts/check.sh uses
-// it as a self-contained smoke client, avoiding a curl dependency.
-func runProbe(addr string, w io.Writer) error {
+// from a running daemon and prints both to stdout. With a -classify
+// formula it first POSTs that to /classify and prints the verdict, so a
+// shell script can exercise the full request path — scripts/check.sh
+// uses it as a self-contained smoke client, avoiding a curl dependency.
+func runProbe(addr, formula string, w io.Writer) error {
 	client := &http.Client{Timeout: 5 * time.Second}
+	if formula != "" {
+		reqBody, err := json.Marshal(classifyRequest{Formula: formula})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post("http://"+addr+"/classify", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /classify: %s: %s", resp.Status, body)
+		}
+		fmt.Fprintf(w, "== /classify ==\n%s", body)
+	}
 	for _, path := range []string{"/healthz", "/metrics"} {
 		resp, err := client.Get("http://" + addr + path)
 		if err != nil {

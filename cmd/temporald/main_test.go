@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	temporal "repro"
 	"repro/internal/obs"
 	"repro/internal/obshttp"
 )
@@ -186,7 +188,7 @@ func TestProbeAgainstLiveMux(t *testing.T) {
 	ts := httptest.NewServer(newTestMux(t, newServer(nil, time.Minute, 0)))
 	defer ts.Close()
 	var out bytes.Buffer
-	if err := runProbe(strings.TrimPrefix(ts.URL, "http://"), &out); err != nil {
+	if err := runProbe(strings.TrimPrefix(ts.URL, "http://"), "", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `"status":"ok"`) || !strings.Contains(out.String(), "engine_cache_hits") {
@@ -223,5 +225,88 @@ func TestClassifyReportsPlanAndBudget(t *testing.T) {
 	}
 	if _, present := rec["budget_states"]; present {
 		t.Error("budget_states should be omitted when the daemon is unlimited")
+	}
+}
+
+// TestWarmStartAcrossRestart is the daemon-level warm-start contract: a
+// second "boot" of the serving engine against the same -store path
+// answers the same request from disk, visible in /healthz (store
+// records) and the store hit counters — the check.sh smoke in test
+// form.
+func TestWarmStartAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	opts := []temporal.EngineOption{temporal.WithPersistentStore(path)}
+
+	boot1 := newServer(opts, time.Minute, 0)
+	mux1 := newTestMux(t, boot1)
+	if rr, rec := postClassify(t, mux1, `{"formula":"G (req -> F ack)"}`); rr.Code != http.StatusOK {
+		t.Fatalf("boot1 classify = %d: %v", rr.Code, rec)
+	}
+	// The drain path: flush write-behind verdicts before "exit".
+	if err := boot1.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	boot2 := newServer(opts, time.Minute, 0)
+	mux2 := obshttp.NewMux(nil, boot2.storeHealth)
+	mux2.Handle("/classify", boot2)
+	rr, rec := postClassify(t, mux2, `{"formula":"G (req -> F ack)"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("boot2 classify = %d: %v", rr.Code, rec)
+	}
+	if rec["class"] != "recurrence" {
+		t.Errorf("warm class = %v, want recurrence", rec["class"])
+	}
+	st := boot2.eng.StoreStats()
+	if st.Hits == 0 {
+		t.Fatalf("second boot served no disk-warm verdicts: %+v", st)
+	}
+
+	// /healthz must report the store's circuit state and record count.
+	hreq := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hrr := httptest.NewRecorder()
+	mux2.ServeHTTP(hrr, hreq)
+	var health map[string]any
+	if err := json.Unmarshal(hrr.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["store_enabled"] != true {
+		t.Errorf("healthz store_enabled = %v", health["store_enabled"])
+	}
+	if n, _ := health["store_records"].(float64); n <= 0 {
+		t.Errorf("healthz store_records = %v, want > 0", health["store_records"])
+	}
+	if err := boot2.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreHealthWithoutStore: a daemon booted without -store reports a
+// disabled store rather than omitting the field.
+func TestStoreHealthWithoutStore(t *testing.T) {
+	srv := newServer(nil, time.Minute, 0)
+	h := srv.storeHealth()
+	if h["store_enabled"] != false {
+		t.Errorf("store_enabled = %v, want false without -store", h["store_enabled"])
+	}
+}
+
+// TestProbeClassify covers the -probe -classify client mode end to end
+// against a live mux.
+func TestProbeClassify(t *testing.T) {
+	ts := httptest.NewServer(newTestMux(t, newServer(nil, time.Minute, 0)))
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := runProbe(strings.TrimPrefix(ts.URL, "http://"), "G F p", &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== /classify ==", `"class":"recurrence"`, `"status":"ok"`, "engine_cache_hits"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("probe output missing %q:\n%.400s", want, out.String())
+		}
+	}
+	// A bad formula surfaces the server's diagnostic as an error.
+	if err := runProbe(strings.TrimPrefix(ts.URL, "http://"), "G (p", &out); err == nil {
+		t.Error("probe accepted a parse failure")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ltl"
 	"repro/internal/omega"
+	"repro/internal/store"
 )
 
 // Engine is the concurrent, memoizing execution layer for classification
@@ -71,6 +72,20 @@ func WithStateBudget(n int64) EngineOption { return engine.WithStateBudget(n) }
 // spend; n <= 0 means unlimited (the default). Use context.WithTimeout
 // for wall-clock deadlines.
 func WithStepBudget(n int64) EngineOption { return engine.WithStepBudget(n) }
+
+// WithPersistentStore adds a crash-safe, disk-backed verdict tier behind
+// the memo cache: terminal classification and planned verdicts persist
+// to the append-only log at path, and a fresh process re-serves them
+// from disk (warm start; Verdict.Stored marks such answers). Corruption
+// or I/O trouble self-disables the store while the engine degrades to
+// in-memory operation — a failing disk never fails a query. Call
+// Engine.Close before exit to flush write-behind verdicts; StoreStats
+// reports the tier's health and traffic.
+func WithPersistentStore(path string) EngineOption { return engine.WithPersistentStore(path) }
+
+// StoreStats is a snapshot of an engine's persistent verdict store:
+// circuit state (Enabled/Reason), resident records and traffic counters.
+type StoreStats = store.Stats
 
 // Typed sentinel errors, matchable with errors.Is (and errors.As for
 // *ParseError).

@@ -50,11 +50,14 @@ const (
 	FlagTimeout
 	// FlagJobs defines -jobs N (engine worker-pool bound).
 	FlagJobs
+	// FlagStore defines -store PATH (persistent verdict store for
+	// cross-process warm starts).
+	FlagStore
 
 	// FlagObs bundles the four observability flags.
 	FlagObs = FlagStats | FlagTrace | FlagSlowOp | FlagMetricsAddr
 	// FlagAll bundles everything.
-	FlagAll = FlagObs | FlagBudget | FlagTimeout | FlagJobs
+	FlagAll = FlagObs | FlagBudget | FlagTimeout | FlagJobs | FlagStore
 )
 
 // Common holds the parsed shared flags. Fields whose flags were not
@@ -69,6 +72,7 @@ type Common struct {
 	Budget      int64
 	Timeout     time.Duration
 	Jobs        int
+	StorePath   string
 
 	// SlowOpW overrides the slow-op JSONL destination (default: the
 	// stderr writer passed to SetupObs). temporald points it at the
@@ -100,6 +104,9 @@ func Register(fs *flag.FlagSet, mask Flag) *Common {
 	}
 	if mask&FlagJobs != 0 {
 		fs.IntVar(&c.Jobs, "jobs", 0, "engine worker-pool bound (0 = number of CPUs)")
+	}
+	if mask&FlagStore != 0 {
+		fs.StringVar(&c.StorePath, "store", "", "persistent verdict store file: warm-start from it and persist new terminal verdicts (created if absent)")
 	}
 	return c
 }
@@ -164,5 +171,22 @@ func (c *Common) EngineOptions(extra ...engine.Option) []engine.Option {
 		opts = append(opts, engine.WithStateBudget(c.Budget),
 			engine.WithStepBudget(64*c.Budget))
 	}
+	if c.StorePath != "" {
+		opts = append(opts, engine.WithPersistentStore(c.StorePath))
+	}
 	return append(opts, extra...)
+}
+
+// FinishEngine is the end-of-run counterpart to EngineOptions: it
+// flushes and closes the engine's persistent store (making write-behind
+// verdicts durable for the next process) and, when a store was
+// configured but is not healthy, reports why on stderr — degraded
+// operation is deliberate, but never silent. Engines without a store
+// finish trivially.
+func (c *Common) FinishEngine(eng *engine.Engine, stderr io.Writer) error {
+	err := eng.Close()
+	if st := eng.StoreStats(); c.StorePath != "" && !st.Enabled && st.Reason != "closed" {
+		fmt.Fprintf(stderr, "store: disabled (%s); ran in-memory\n", st.Reason)
+	}
+	return err
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -102,5 +104,70 @@ func TestSetupObsQuiet(t *testing.T) {
 	}
 	if err := finish(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStoreFlagWiresEngine covers the -store satellite surface: the
+// flag parses into StorePath, EngineOptions turns it into a persistent
+// store, and FinishEngine flushes so a second engine warm-starts.
+func TestStoreFlagWiresEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.log")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := cli.Register(fs, cli.FlagStore)
+	if err := fs.Parse([]string{"-store", path}); err != nil {
+		t.Fatal(err)
+	}
+	if c.StorePath != path {
+		t.Fatalf("StorePath = %q", c.StorePath)
+	}
+
+	eng := engine.New(c.EngineOptions()...)
+	if _, err := eng.ClassifyFormula(context.Background(), ltl.MustParse("G p"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var quiet strings.Builder
+	if err := c.FinishEngine(eng, &quiet); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Len() != 0 {
+		t.Fatalf("healthy finish wrote %q", quiet.String())
+	}
+
+	warm := engine.New(c.EngineOptions()...)
+	defer warm.Close()
+	if _, err := warm.ClassifyFormula(context.Background(), ltl.MustParse("G p"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if warm.StoreStats().Hits == 0 {
+		t.Fatal("second engine saw no store hits — FinishEngine did not flush")
+	}
+}
+
+// TestFinishEngineReportsDegradation: a store that could not open is
+// announced on stderr (degraded is deliberate, never silent), while a
+// run without -store finishes silently.
+func TestFinishEngineReportsDegradation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(path, []byte("not a store, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &cli.Common{StorePath: path}
+	eng := engine.New(c.EngineOptions()...)
+	var stderr strings.Builder
+	if err := c.FinishEngine(eng, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "store: disabled") {
+		t.Fatalf("degraded store not announced, stderr = %q", stderr.String())
+	}
+
+	plain := &cli.Common{}
+	engNoStore := engine.New(plain.EngineOptions()...)
+	stderr.Reset()
+	if err := plain.FinishEngine(engNoStore, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("store-less finish wrote %q", stderr.String())
 	}
 }

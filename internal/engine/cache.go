@@ -41,6 +41,12 @@ func newMemoCache(max int) *memoCache {
 	return &memoCache{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
 }
 
+// touch refreshes an entry's LRU recency (front = most recently used).
+// Both lookups and overwrites count as a use and go through this one
+// path, so the eviction order cannot drift between them: a key that was
+// just re-put must not be the next eviction victim. Callers hold c.mu.
+func (c *memoCache) touch(el *list.Element) { c.ll.MoveToFront(el) }
+
 // get returns the cached value for key and records a hit or miss. A nil
 // cache misses unconditionally (caching disabled).
 func (c *memoCache) get(key string) (any, bool) {
@@ -55,14 +61,15 @@ func (c *memoCache) get(key string) (any, bool) {
 		cntCacheMisses.Inc()
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
+	c.touch(el)
 	c.hits++
 	cntCacheHits.Inc()
 	return el.Value.(*memoEntry).val, true
 }
 
 // put stores the value, evicting the least recently used entry when the
-// cache is full. A nil cache drops the value.
+// cache is full. Overwriting an existing key refreshes its recency like
+// a lookup would. A nil cache drops the value.
 func (c *memoCache) put(key string, val any) {
 	if c == nil {
 		return
@@ -71,7 +78,7 @@ func (c *memoCache) put(key string, val any) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		el.Value.(*memoEntry).val = val
-		c.ll.MoveToFront(el)
+		c.touch(el)
 		return
 	}
 	c.items[key] = c.ll.PushFront(&memoEntry{key: key, val: val})

@@ -1,0 +1,52 @@
+package engine
+
+import "testing"
+
+// TestMemoCacheOverwriteRefreshesRecency is the eviction-order
+// regression test for memoCache.put: overwriting an existing key must
+// count as a use, exactly as a get does, so the overwritten key is the
+// last — not the first — LRU eviction victim.
+func TestMemoCacheOverwriteRefreshesRecency(t *testing.T) {
+	c := newMemoCache(3)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3)
+
+	// Overwrite the oldest key: "a" becomes most recently used, leaving
+	// "b" as the LRU victim.
+	c.put("a", 10)
+
+	c.put("d", 4) // evicts exactly one entry
+	if _, ok := c.get("b"); ok {
+		t.Fatalf("expected %q to be evicted (oldest after overwrite refreshed %q)", "b", "a")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("overwritten key evicted or stale: got %v, %v (want 10, true)", v, ok)
+	}
+	for _, k := range []string{"c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("key %q unexpectedly evicted", k)
+		}
+	}
+	if st := c.stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestMemoCacheGetRefreshesRecency pins the matching property on the
+// lookup path, so get and put cannot drift apart.
+func TestMemoCacheGetRefreshesRecency(t *testing.T) {
+	c := newMemoCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("warm get missed")
+	}
+	c.put("c", 3) // must evict "b", not the just-used "a"
+	if _, ok := c.get("b"); ok {
+		t.Fatal("expected b evicted after a was refreshed by get")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used key evicted")
+	}
+}

@@ -67,6 +67,11 @@ type Verdict struct {
 	// Cached reports a memo-cache hit; the provenance fields then
 	// describe the run that populated the cache.
 	Cached bool
+	// Stored reports a disk-warm hit: the verdict was served from the
+	// persistent store (written by an earlier process or run) rather
+	// than computed or found in memory. For equivalence, Stored is set
+	// when either direction came from disk.
+	Stored bool
 	Cost   plan.Cost
 	// BudgetStates/BudgetSteps are the request's budget spend (0 when
 	// the engine runs without caps and the caller attached no budget).
@@ -119,18 +124,20 @@ func (e *Engine) check(ctx context.Context, req CheckRequest) (Verdict, error) {
 		if err != nil {
 			return Verdict{}, err
 		}
-		out, cached, err := e.contains(ctx, a, b)
+		out, src, err := e.contains(ctx, a, b)
 		if err != nil {
 			return Verdict{}, err
 		}
 		if req.Kind == CheckContains || !out.Holds {
-			return verdictOf(out, cached), nil
+			return verdictOf(out, src), nil
 		}
-		back, cached2, err := e.contains(ctx, b, a)
+		back, src2, err := e.contains(ctx, b, a)
 		if err != nil {
 			return Verdict{}, err
 		}
-		v := verdictOf(back, cached && cached2)
+		v := verdictOf(back, src2)
+		v.Cached = src == srcMemo && src2 == srcMemo
+		v.Stored = src == srcStore || src2 == srcStore
 		v.Fallback = out.Fallback || back.Fallback
 		return v, nil
 
@@ -139,11 +146,11 @@ func (e *Engine) check(ctx context.Context, req CheckRequest) (Verdict, error) {
 		if err != nil {
 			return Verdict{}, err
 		}
-		out, cached, err := e.emptiness(ctx, a)
+		out, src, err := e.emptiness(ctx, a)
 		if err != nil {
 			return Verdict{}, err
 		}
-		return verdictOf(out, cached), nil
+		return verdictOf(out, src), nil
 
 	case CheckVerify:
 		if req.System == nil || req.Formula == nil {
@@ -153,7 +160,7 @@ func (e *Engine) check(ctx context.Context, req CheckRequest) (Verdict, error) {
 		if err != nil {
 			return Verdict{}, wrapErr(err)
 		}
-		v := verdictOf(out, false)
+		v := verdictOf(out, srcComputed)
 		v.Holds = res.Holds
 		v.Counterexample = res.Counterexample
 		return v, nil
@@ -161,7 +168,7 @@ func (e *Engine) check(ctx context.Context, req CheckRequest) (Verdict, error) {
 	return Verdict{}, errors.New("engine: unknown check kind")
 }
 
-func verdictOf(out plan.Outcome, cached bool) Verdict {
+func verdictOf(out plan.Outcome, src verdictSource) Verdict {
 	return Verdict{
 		Holds:    out.Holds,
 		Witness:  out.Witness,
@@ -169,7 +176,8 @@ func verdictOf(out plan.Outcome, cached bool) Verdict {
 		Planned:  out.Planned,
 		Reason:   out.Reason,
 		Fallback: out.Fallback,
-		Cached:   cached,
+		Cached:   src == srcMemo,
+		Stored:   src == srcStore,
 		Cost:     out.Cost,
 	}
 }
@@ -218,28 +226,34 @@ func (e *Engine) probeAutomaton(ctx context.Context, a *omega.Automaton) (plan.P
 	return p, nil
 }
 
-// emptiness runs a planned emptiness query with the same cache
-// discipline as contains: verdicts are memoized under the structural
-// key, fallback outcomes are not (the failure may have been injected,
-// and a cached fallback would hide the fast path forever).
-func (e *Engine) emptiness(ctx context.Context, a *omega.Automaton) (plan.Outcome, bool, error) {
+// emptiness runs a planned emptiness query with the same cache and
+// persistence discipline as contains: terminal verdicts are memoized
+// (and persisted) under the structural key, fallback outcomes are not
+// (the failure may have been injected, and a frozen fallback would hide
+// the fast path forever).
+func (e *Engine) emptiness(ctx context.Context, a *omega.Automaton) (plan.Outcome, verdictSource, error) {
 	if err := ctx.Err(); err != nil {
-		return plan.Outcome{}, false, wrapErr(err)
+		return plan.Outcome{}, srcComputed, wrapErr(err)
 	}
 	key := "empty|" + a.StructuralKey()
 	if v, ok := e.cacheGet(key); ok {
-		return v.(plan.Outcome), true, nil
+		return v.(plan.Outcome), srcMemo, nil
+	}
+	if out, ok := e.storeGetOutcome(key); ok {
+		e.cachePut(key, out)
+		return out, srcStore, nil
 	}
 	p, err := e.probeAutomaton(ctx, a)
 	if err != nil {
-		return plan.Outcome{}, false, err
+		return plan.Outcome{}, srcComputed, err
 	}
 	out, err := plan.EmptinessWith(ctx, plan.DecideEmptiness(p), a)
 	if err != nil {
-		return plan.Outcome{}, false, wrapErr(err)
+		return plan.Outcome{}, srcComputed, wrapErr(err)
 	}
 	if !out.Fallback {
 		e.cachePut(key, out)
+		e.storePutOutcome(key, out)
 	}
-	return out, false, nil
+	return out, srcComputed, nil
 }

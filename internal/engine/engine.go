@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/omega"
 	"repro/internal/plan"
+	"repro/internal/store"
 	"repro/internal/word"
 )
 
@@ -54,10 +55,12 @@ var ErrCanceled = errors.New("engine: operation canceled")
 // WithCacheSize option is given.
 const DefaultCacheSize = 1024
 
-// Observer receives engine events: "cache.hit", "cache.miss" (value 1
-// per lookup) and "batch.unique" (number of deduplicated work items per
-// Batch call). Observers must be safe for concurrent use; the engine may
-// invoke them from worker goroutines.
+// Observer receives engine events: "cache.hit", "cache.miss",
+// "store.hit", "store.miss" (value 1 per lookup; the store events fire
+// only with a persistent store configured) and "batch.unique" (number
+// of deduplicated work items per Batch call). Observers must be safe
+// for concurrent use; the engine may invoke them from worker
+// goroutines.
 type Observer func(event string, value int64)
 
 // Engine is a concurrent, memoizing façade over the core procedures. The
@@ -72,6 +75,15 @@ type Engine struct {
 	sem       chan struct{}
 	cache     *memoCache
 	observer  Observer
+
+	// Persistent verdict tier (WithPersistentStore). store is nil when
+	// unconfigured or the open failed; storeErr keeps the open failure
+	// for StoreStats. The engine never fails a query on store trouble —
+	// the store self-disables and the engine runs in-memory.
+	storePath string
+	storeOpts []store.Option
+	store     *store.Store
+	storeErr  error
 }
 
 // Option configures an Engine.
@@ -105,6 +117,7 @@ func New(opts ...Option) *Engine {
 	}
 	e.sem = make(chan struct{}, e.workers)
 	e.cache = newMemoCache(e.cacheSize)
+	e.openStore()
 	return e
 }
 
@@ -234,6 +247,13 @@ func (e *Engine) classifyAutomaton(ctx context.Context, a *omega.Automaton) (cor
 		sp.Bool("cached", true)
 		return v.(core.Classification), nil
 	}
+	if c, ok := e.storeGetClass(key); ok {
+		// Disk-warm hit: promote into the memo tier so the rest of the
+		// process is answered from memory.
+		sp.Bool("stored", true)
+		e.cachePut(key, c)
+		return c, nil
+	}
 	an := core.Analyze(a)
 	var (
 		safety, guarantee       bool
@@ -257,7 +277,11 @@ func (e *Engine) classifyAutomaton(ctx context.Context, a *omega.Automaton) (cor
 			return core.Classification{}, wrapErr(err)
 		}
 	}
+	// Terminal verdict: memoize and persist. Faulted or budget-aborted
+	// classifications returned above on the error path, so — exactly as
+	// for the memo cache — they can never reach the disk tier.
 	e.cachePut(key, c)
+	e.storePutClass(key, c)
 	return c, nil
 }
 
@@ -397,37 +421,53 @@ func (e *Engine) Contains(ctx context.Context, a, b *omega.Automaton) (bool, wor
 	return out.Holds, out.Witness, nil
 }
 
+// verdictSource says which tier answered a planned query: computed
+// fresh, served from the in-memory memo cache, or served disk-warm from
+// the persistent store. Check surfaces it as Verdict.Cached/Stored.
+type verdictSource int
+
+const (
+	srcComputed verdictSource = iota
+	srcMemo
+	srcStore
+)
+
 // contains is the shared planned-containment core behind Contains,
 // Equivalent and Check. Verdicts are memoized with their provenance, so
 // a cache hit still reports which tier originally answered; fallback
-// outcomes are never cached — the failure that forced the fallback may
-// have been injected or transient, and caching would both hide the fast
-// path forever and freeze a verdict whose provenance says "something
-// went wrong".
-func (e *Engine) contains(ctx context.Context, a, b *omega.Automaton) (plan.Outcome, bool, error) {
+// outcomes are never cached or persisted — the failure that forced the
+// fallback may have been injected or transient, and caching would both
+// hide the fast path forever and freeze a verdict whose provenance says
+// "something went wrong".
+func (e *Engine) contains(ctx context.Context, a, b *omega.Automaton) (plan.Outcome, verdictSource, error) {
 	if err := ctx.Err(); err != nil {
-		return plan.Outcome{}, false, wrapErr(err)
+		return plan.Outcome{}, srcComputed, wrapErr(err)
 	}
 	key := "contains|" + a.StructuralKey() + "|" + b.StructuralKey()
 	if v, ok := e.cacheGet(key); ok {
-		return v.(plan.Outcome), true, nil
+		return v.(plan.Outcome), srcMemo, nil
+	}
+	if out, ok := e.storeGetOutcome(key); ok {
+		e.cachePut(key, out)
+		return out, srcStore, nil
 	}
 	pa, err := e.probeAutomaton(ctx, a)
 	if err != nil {
-		return plan.Outcome{}, false, err
+		return plan.Outcome{}, srcComputed, err
 	}
 	pb, err := e.probeAutomaton(ctx, b)
 	if err != nil {
-		return plan.Outcome{}, false, err
+		return plan.Outcome{}, srcComputed, err
 	}
 	out, err := plan.ContainsWith(ctx, plan.DecideContains(pa, pb), a, b)
 	if err != nil {
-		return plan.Outcome{}, false, wrapErr(err)
+		return plan.Outcome{}, srcComputed, wrapErr(err)
 	}
 	if !out.Fallback {
 		e.cachePut(key, out)
+		e.storePutOutcome(key, out)
 	}
-	return out, false, nil
+	return out, srcComputed, nil
 }
 
 // Equivalent decides exact language equality as containment both ways,

@@ -35,6 +35,8 @@ const (
 	SiteEngineTask     = "engine.task"        // per pool task started
 	SiteEngineBatch    = "engine.batch.item"  // per batch item started
 	SitePlan           = "plan.specialized"   // per class-specialized fast path entered
+	SiteStoreRead      = "store.read"         // per persistent-store lookup
+	SiteStoreWrite     = "store.write"        // per persistent-store record append
 )
 
 // armed short-circuits Hit while nothing is injected.

@@ -25,6 +25,18 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	funcs    map[string]*gaugeFunc
+}
+
+// gaugeFunc is a computed gauge: its value is read from a callback at
+// snapshot time instead of being stored. Used for figures that already
+// live somewhere authoritative (an engine's cache-entry count, a
+// store's resident-record count) where a stored gauge would only ever
+// be stale.
+type gaugeFunc struct {
+	name   string
+	labels []Label
+	fn     func() int64
 }
 
 // NewRegistry returns an empty, independent registry.
@@ -33,6 +45,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		funcs:    map[string]*gaugeFunc{},
 	}
 }
 
@@ -148,14 +161,26 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// GaugeFunc registers (or replaces) a computed gauge: snapshots report
+// fn's current return value under the given identity. The callback must
+// be safe for concurrent use and fast — it runs on every scrape. It is
+// evaluated outside the registry lock, so it may freely read other
+// metrics or mutex-guarded state.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...Label) {
+	labels = canonLabels(labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[id] = &gaugeFunc{name: name, labels: labels, fn: fn}
+}
+
 // Snapshot returns every registered metric of the registry, sorted by
 // full name. Histogram rows carry their non-empty buckets, so encoders
 // (the Prometheus exposition, /debug/vars) need no further access to the
 // live metric.
 func (r *Registry) Snapshot() []MetricValue {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
 	for _, c := range r.counters {
 		out = append(out, MetricValue{
 			Name: c.name, Labels: c.labels, Kind: "counter", Value: c.Value(),
@@ -172,6 +197,17 @@ func (r *Registry) Snapshot() []MetricValue {
 			Value: h.Sum(), Count: h.Count(), Max: h.MaxValue(),
 			Buckets: h.Buckets(),
 		})
+	}
+	funcs := make([]*gaugeFunc, 0, len(r.funcs))
+	for _, f := range r.funcs {
+		funcs = append(funcs, f)
+	}
+	r.mu.Unlock()
+	// Computed gauges are evaluated after unlocking so a callback may
+	// read other registry metrics (or any mutex-guarded state) without
+	// risking lock-order trouble.
+	for _, f := range funcs {
+		out = append(out, MetricValue{Name: f.name, Labels: f.labels, Kind: "gauge", Value: f.fn()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
 	return out
@@ -215,6 +251,11 @@ func (r *Registry) Has(name string) bool {
 	}
 	for _, h := range r.hists {
 		if h.name == name {
+			return true
+		}
+	}
+	for _, f := range r.funcs {
+		if f.name == name {
 			return true
 		}
 	}

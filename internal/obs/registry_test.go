@@ -126,3 +126,55 @@ func TestFullNameRendering(t *testing.T) {
 		t.Errorf("label missing: %q", got)
 	}
 }
+
+// TestGaugeFunc covers computed gauges: snapshots report the callback's
+// live value under the labeled identity, re-registering replaces the
+// callback, and Has sees the name.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("computed.value", func() int64 { return v }, Label{"tier", "memory"})
+
+	find := func() (int64, bool) {
+		for _, m := range r.Snapshot() {
+			if m.FullName() == `computed.value{tier="memory"}` {
+				if m.Kind != "gauge" {
+					t.Fatalf("computed gauge snapshot kind = %q", m.Kind)
+				}
+				return m.Value, true
+			}
+		}
+		return 0, false
+	}
+	got, ok := find()
+	if !ok || got != 7 {
+		t.Fatalf("computed gauge = %d, %v; want 7, true", got, ok)
+	}
+	v = 42 // live: the next snapshot must see the new value, no re-registration
+	if got, _ := find(); got != 42 {
+		t.Fatalf("computed gauge after update = %d, want 42", got)
+	}
+	// Replace on re-register: same identity, new callback wins.
+	r.GaugeFunc("computed.value", func() int64 { return -1 }, Label{"tier", "memory"})
+	if got, _ := find(); got != -1 {
+		t.Fatalf("re-registered gauge = %d, want -1", got)
+	}
+	if !r.Has("computed.value") {
+		t.Error("Has must find computed gauges")
+	}
+}
+
+// TestGaugeFuncMaySnapshotRegistry pins the lock-order guarantee: a
+// callback that itself reads registry state (here another metric's
+// value) must not deadlock, because callbacks run outside the lock.
+func TestGaugeFuncMaySnapshotRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("source.calls")
+	c.Add(3)
+	r.GaugeFunc("derived.calls", func() int64 { return r.Counter("source.calls").Value() })
+	for _, m := range r.Snapshot() {
+		if m.Name == "derived.calls" && m.Value != 3 {
+			t.Fatalf("derived gauge = %d, want 3", m.Value)
+		}
+	}
+}

@@ -30,9 +30,16 @@ var (
 // start anchors the /healthz uptime report.
 var start = time.Now()
 
+// HealthFunc contributes extra fields to the /healthz body — a daemon
+// reports subsystem health (its verdict store's circuit state, say)
+// without obshttp knowing the subsystem. Later funcs win on key
+// collision; callbacks must be safe for concurrent use.
+type HealthFunc func() map[string]any
+
 // NewMux returns the introspection mux over the registry (obs.Default()
-// when reg is nil).
-func NewMux(reg *obs.Registry) *http.ServeMux {
+// when reg is nil). Any health funcs are merged into every /healthz
+// response.
+func NewMux(reg *obs.Registry, health ...HealthFunc) *http.ServeMux {
 	if reg == nil {
 		reg = obs.Default()
 	}
@@ -47,11 +54,17 @@ func NewMux(reg *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		cntHealth.Inc()
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
+		body := map[string]any{
 			"status":     "ok",
 			"uptime_s":   int64(time.Since(start).Seconds()),
 			"goroutines": runtime.NumGoroutine(),
-		})
+		}
+		for _, h := range health {
+			for k, v := range h() {
+				body[k] = v
+			}
+		}
+		_ = json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -87,8 +100,8 @@ func varsDump(reg *obs.Registry) map[string]any {
 // returns when the listener closes. CLI callers bind first (so the
 // address, possibly :0-assigned, is known and printable) and then serve
 // in the background.
-func Serve(ln net.Listener, reg *obs.Registry) error {
-	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+func Serve(ln net.Listener, reg *obs.Registry, health ...HealthFunc) error {
+	srv := &http.Server{Handler: NewMux(reg, health...), ReadHeaderTimeout: 5 * time.Second}
 	return srv.Serve(ln)
 }
 

@@ -132,3 +132,41 @@ func TestListenServesRealSocket(t *testing.T) {
 		t.Error("scrape counter did not move")
 	}
 }
+
+// TestHealthzExtraFuncs covers the HealthFunc extension point: extra
+// fields merge into the /healthz body, later funcs win on collision,
+// and the built-in fields survive.
+func TestHealthzExtraFuncs(t *testing.T) {
+	mux := NewMux(obs.NewRegistry(),
+		func() map[string]any { return map[string]any{"store_enabled": true, "shared": "first"} },
+		func() map[string]any { return map[string]any{"store_records": 12, "shared": "second"} },
+	)
+	code, body, _ := get(t, mux, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["status"] != "ok" {
+		t.Errorf("built-in field lost: %v", rec)
+	}
+	if rec["store_enabled"] != true || rec["store_records"] != float64(12) {
+		t.Errorf("health funcs not merged: %v", rec)
+	}
+	if rec["shared"] != "second" {
+		t.Errorf("later func must win on collision, got %v", rec["shared"])
+	}
+}
+
+// TestGaugeFuncOnMetrics: computed gauges registered by an engine show
+// up in the Prometheus exposition like any stored gauge.
+func TestGaugeFuncOnMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("engine.tier.entries", func() int64 { return 5 }, obs.Label{Key: "tier", Value: "store"})
+	_, body, _ := get(t, NewMux(reg), "/metrics")
+	if !strings.Contains(body, `engine_tier_entries{tier="store"} 5`) {
+		t.Errorf("/metrics missing computed gauge:\n%s", body)
+	}
+}

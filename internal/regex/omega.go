@@ -105,6 +105,14 @@ func buildOmega(b *builder, n Node) ([]int, error) {
 		b.nfa.Accept[anchor] = true
 		return []int{anchor}, nil
 	default:
+		if !ContainsOmega(n) {
+			// A finitary branch in ω-position (e.g. the ∅ in "a^w+∅", or
+			// the b in "a^w+b") denotes only finite words, so it
+			// contributes no infinite words: no start states.
+			return nil, nil
+		}
+		// After validateOmegaPositions, a node containing ω in tail
+		// position is Union, Concat or Omega — anything else is a bug.
 		return nil, fmt.Errorf("regex: %v cannot head an ω-expression", n)
 	}
 }

@@ -57,3 +57,32 @@ func TestAcceptsLassoRequiresConsumingCycle(t *testing.T) {
 		t.Fatal("b^w must be rejected by (a*)^w despite the ε-cycle at the anchor")
 	}
 }
+
+// A finitary branch in ω-position denotes only finite words, so it must
+// contribute nothing to an ω-union instead of failing to compile — the
+// fuzzer found "∅^w+∅" parsing fine and then refusing to build (seed
+// 0c3fe9430beca8b5).
+func TestFinitaryBranchInOmegaUnion(t *testing.T) {
+	ab := alphabet.MustNew("a", "b")
+
+	// a^w + b: the b branch is dead weight; the language is exactly a^ω.
+	b := MustCompileOmegaString("a^w+b", ab)
+	if !b.AcceptsLasso(word.MustLassoStrings("", "a")) {
+		t.Error("a^w+b must accept a^ω")
+	}
+	if b.AcceptsLasso(word.MustLassoStrings("", "b")) {
+		t.Error("a^w+b must reject b^ω — the finitary branch denotes no infinite words")
+	}
+
+	// ∅^w + ∅ (the fuzz crasher): compiles, and the language is empty.
+	e := MustCompileOmegaString("∅^w+∅", ab)
+	if _, ok := e.Witness(); ok {
+		t.Error("∅^w+∅ must be empty")
+	}
+
+	// A finitary Concat branch takes the same path: (ab)^w + ab is (ab)^ω.
+	c := MustCompileOmegaString("(ab)^w+ab", ab)
+	if !c.AcceptsLasso(word.MustLassoStrings("", "ab")) {
+		t.Error("(ab)^w+ab must accept (ab)^ω")
+	}
+}

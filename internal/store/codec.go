@@ -1,0 +1,359 @@
+// Package store is the engine's persistent verdict tier: a
+// content-addressed, crash-safe, append-only record log mapping
+// structural-key strings to terminal verdicts (classifications and
+// planned containment/emptiness outcomes), with an in-memory index
+// rebuilt by scanning the log on open.
+//
+// The correctness bar comes from the paper's safety reading: a poisoned
+// store must never serve a wrong verdict. Every record carries a CRC
+// over its payload and the codec is strict (no trailing bytes, bounded
+// lengths, closed enum values), so corruption is detected as a bad
+// prefix of the log and the damaged record is quarantined — skipped and
+// counted, never indexed, never served. A torn tail (the signature of a
+// crash mid-append) is truncated on open so the log stays appendable.
+// Any error past open — a failed append, a failed fsync, an injected
+// fault — trips a circuit breaker that self-disables the store: lookups
+// miss, writes drop, and the caller degrades to in-memory operation.
+//
+// DESIGN.md §12 is the normative contract for the record format, the
+// recovery rules and what is never persisted.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/word"
+)
+
+// Kind discriminates the verdict payloads the store can hold.
+type Kind byte
+
+const (
+	// KindClassification is a core.Classification verdict (the result
+	// of placing one automaton in the hierarchy).
+	KindClassification Kind = 1
+	// KindOutcome is a plan.Outcome verdict (a planned containment or
+	// emptiness answer with provenance and optional witness lasso).
+	KindOutcome Kind = 2
+)
+
+// Value is one decoded verdict: exactly the field selected by Kind is
+// meaningful.
+type Value struct {
+	Kind    Kind
+	Class   core.Classification
+	Outcome plan.Outcome
+}
+
+// ErrCodec is wrapped by every decode failure, so callers can match the
+// whole family with errors.Is.
+var ErrCodec = errors.New("store: malformed record")
+
+// Encoding limits. Keys are structural-key strings (bounded by the
+// automata the engine is willing to build) and reasons are one-line
+// planner strings; anything past these bounds is a corrupt record, not
+// a legitimate verdict.
+const (
+	maxStringLen = 1 << 20
+	maxWordLen   = 1 << 16
+	maxRank      = 1 << 20
+)
+
+// Classification bitmask layout (bit set = member of the class).
+const (
+	bitSafety = 1 << iota
+	bitGuarantee
+	bitObligation
+	bitRecurrence
+	bitPersistence
+	bitReactivity
+	classMaskBits = 1<<6 - 1
+)
+
+// Outcome flag layout.
+const (
+	flagHolds = 1 << iota
+	flagWitness
+	outcomeFlagBits = 1<<2 - 1
+)
+
+// encodeRecord renders one (key, verdict) pair as a canonical payload:
+// kind byte, length-prefixed key, then the kind-specific fields. The
+// encoding is deterministic — the same verdict always produces the same
+// bytes — so a record can be compared and checksummed byte-wise.
+func encodeRecord(key string, v Value) ([]byte, error) {
+	if key == "" || len(key) > maxStringLen {
+		return nil, fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	buf := make([]byte, 0, 2+len(key)+16)
+	buf = append(buf, byte(v.Kind))
+	buf = appendString(buf, key)
+	switch v.Kind {
+	case KindClassification:
+		return appendClassification(buf, v.Class)
+	case KindOutcome:
+		return appendOutcome(buf, v.Outcome)
+	}
+	return nil, fmt.Errorf("store: unknown record kind %d", v.Kind)
+}
+
+// decodeRecord is the strict inverse of encodeRecord: every length is
+// bounds-checked, every enum must be in its closed set, and trailing
+// bytes are an error. It never panics, whatever the input — the
+// FuzzStoreDecode target holds it to that.
+func decodeRecord(p []byte) (string, Value, error) {
+	d := decoder{buf: p}
+	kind := d.byte()
+	key := d.string(maxStringLen)
+	var v Value
+	switch Kind(kind) {
+	case KindClassification:
+		v = Value{Kind: KindClassification, Class: d.classification()}
+	case KindOutcome:
+		v = Value{Kind: KindOutcome, Outcome: d.outcome()}
+	default:
+		if d.err == nil {
+			d.fail("unknown kind %d", kind)
+		}
+	}
+	if d.err == nil && len(d.buf) != d.off {
+		d.fail("%d trailing bytes", len(d.buf)-d.off)
+	}
+	if d.err == nil && key == "" {
+		d.fail("empty key")
+	}
+	if d.err != nil {
+		return "", Value{}, d.err
+	}
+	return key, v, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendClassification(buf []byte, c core.Classification) ([]byte, error) {
+	var mask byte
+	if c.Safety {
+		mask |= bitSafety
+	}
+	if c.Guarantee {
+		mask |= bitGuarantee
+	}
+	if c.Obligation {
+		mask |= bitObligation
+	}
+	if c.Recurrence {
+		mask |= bitRecurrence
+	}
+	if c.Persistence {
+		mask |= bitPersistence
+	}
+	if c.Reactivity {
+		mask |= bitReactivity
+	}
+	if c.ObligationRank < 0 || c.ObligationRank > maxRank ||
+		c.ReactivityRank < 0 || c.ReactivityRank > maxRank {
+		return nil, fmt.Errorf("store: classification rank out of range")
+	}
+	buf = append(buf, mask)
+	buf = binary.AppendUvarint(buf, uint64(c.ObligationRank))
+	buf = binary.AppendUvarint(buf, uint64(c.ReactivityRank))
+	return buf, nil
+}
+
+func appendOutcome(buf []byte, out plan.Outcome) ([]byte, error) {
+	// Fallback outcomes are never persisted — the failure that forced
+	// the fallback may have been injected or transient, and freezing it
+	// on disk would hide the fast path across every future process.
+	if out.Fallback {
+		return nil, errors.New("store: refusing to encode a fallback outcome")
+	}
+	if out.Tier < plan.TierStreett || out.Tier > plan.TierPersistence ||
+		out.Planned < plan.TierStreett || out.Planned > plan.TierPersistence {
+		return nil, fmt.Errorf("store: tier out of range")
+	}
+	var flags byte
+	if out.Holds {
+		flags |= flagHolds
+	}
+	if !out.Witness.IsZero() {
+		flags |= flagWitness
+	}
+	buf = append(buf, flags, byte(out.Tier), byte(out.Planned))
+	if len(out.Reason) > maxStringLen {
+		return nil, fmt.Errorf("store: reason length %d out of range", len(out.Reason))
+	}
+	buf = appendString(buf, out.Reason)
+	if out.Cost.ProductStates < 0 || out.Cost.SCCPasses < 0 {
+		return nil, fmt.Errorf("store: negative cost counter")
+	}
+	buf = binary.AppendUvarint(buf, uint64(out.Cost.ProductStates))
+	buf = binary.AppendUvarint(buf, uint64(out.Cost.SCCPasses))
+	if flags&flagWitness != 0 {
+		var err error
+		if buf, err = appendFinite(buf, out.Witness.PrefixPart()); err != nil {
+			return nil, err
+		}
+		if buf, err = appendFinite(buf, out.Witness.LoopPart()); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendFinite(buf []byte, w word.Finite) ([]byte, error) {
+	if len(w) > maxWordLen {
+		return nil, fmt.Errorf("store: witness word length %d out of range", len(w))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(w)))
+	for _, sym := range w {
+		if len(sym) > maxStringLen {
+			return nil, fmt.Errorf("store: witness symbol length %d out of range", len(sym))
+		}
+		buf = appendString(buf, string(sym))
+	}
+	return buf, nil
+}
+
+// decoder is a cursor over a payload with sticky error state: after the
+// first failure every accessor returns zero values, so decode paths
+// read linearly and check err once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated at byte %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint(limit uint64) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	if v > limit {
+		d.fail("value %d exceeds limit %d", v, limit)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) string(limit int) string {
+	n := int(d.uvarint(uint64(limit)))
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("string of %d bytes overruns payload", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) classification() core.Classification {
+	mask := d.byte()
+	if d.err == nil && mask&^byte(classMaskBits) != 0 {
+		d.fail("class bitmask %#x has unknown bits", mask)
+	}
+	obl := d.uvarint(maxRank)
+	rea := d.uvarint(maxRank)
+	if d.err != nil {
+		return core.Classification{}
+	}
+	return core.Classification{
+		Safety:      mask&bitSafety != 0,
+		Guarantee:   mask&bitGuarantee != 0,
+		Obligation:  mask&bitObligation != 0,
+		Recurrence:  mask&bitRecurrence != 0,
+		Persistence: mask&bitPersistence != 0,
+		Reactivity:  mask&bitReactivity != 0,
+
+		ObligationRank: int(obl),
+		ReactivityRank: int(rea),
+	}
+}
+
+func (d *decoder) outcome() plan.Outcome {
+	flags := d.byte()
+	if d.err == nil && flags&^byte(outcomeFlagBits) != 0 {
+		d.fail("outcome flags %#x have unknown bits", flags)
+	}
+	tier := d.byte()
+	planned := d.byte()
+	if d.err == nil && (plan.Tier(tier) > plan.TierPersistence || plan.Tier(planned) > plan.TierPersistence) {
+		d.fail("tier byte out of range")
+	}
+	reason := d.string(maxStringLen)
+	states := d.uvarint(1<<63 - 1)
+	passes := d.uvarint(1<<63 - 1)
+	out := plan.Outcome{
+		Holds:   flags&flagHolds != 0,
+		Tier:    plan.Tier(tier),
+		Planned: plan.Tier(planned),
+		Reason:  reason,
+		Cost:    plan.Cost{ProductStates: int64(states), SCCPasses: int64(passes)},
+	}
+	if flags&flagWitness != 0 {
+		prefix := d.finite()
+		loop := d.finite()
+		if d.err != nil {
+			return plan.Outcome{}
+		}
+		w, err := word.NewLasso(prefix, loop)
+		if err != nil {
+			d.fail("witness: %v", err)
+			return plan.Outcome{}
+		}
+		out.Witness = w
+	}
+	if d.err != nil {
+		return plan.Outcome{}
+	}
+	return out
+}
+
+func (d *decoder) finite() word.Finite {
+	n := int(d.uvarint(maxWordLen))
+	if d.err != nil {
+		return nil
+	}
+	w := make(word.Finite, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		w = append(w, alphabet.Symbol(d.string(maxStringLen)))
+		if d.err != nil {
+			return nil
+		}
+	}
+	return w
+}

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/word"
+)
+
+func mustLasso(t *testing.T, prefix, loop string) word.Lasso {
+	t.Helper()
+	w, err := word.NewLasso(word.FiniteFromString(prefix), word.FiniteFromString(loop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// codecValues is the round-trip corpus: one value per interesting shape
+// of each kind.
+func codecValues(t *testing.T) map[string]Value {
+	return map[string]Value{
+		"classify|safety": {Kind: KindClassification, Class: core.Classification{
+			Safety: true, Obligation: true, Recurrence: true, Persistence: true, Reactivity: true,
+			ObligationRank: 1, ReactivityRank: 1,
+		}},
+		"classify|reactivity": {Kind: KindClassification, Class: core.Classification{
+			Reactivity: true, ReactivityRank: 3,
+		}},
+		"classify|zero": {Kind: KindClassification, Class: core.Classification{}},
+		"empty|holds": {Kind: KindOutcome, Outcome: plan.Outcome{
+			Holds: true, Tier: plan.TierSafety, Planned: plan.TierSafety,
+			Reason: "safety: bad-prefix reachability",
+			Cost:   plan.Cost{ProductStates: 42},
+		}},
+		"contains|witnessed": {Kind: KindOutcome, Outcome: plan.Outcome{
+			Holds: false, Tier: plan.TierRecurrence, Planned: plan.TierRecurrence,
+			Reason:  "recurrence: Büchi special case",
+			Cost:    plan.Cost{ProductStates: 7, SCCPasses: 2},
+			Witness: mustLasso(t, "ab", "ba"),
+		}},
+		"contains|emptyprefix": {Kind: KindOutcome, Outcome: plan.Outcome{
+			Holds: false, Tier: plan.TierStreett, Planned: plan.TierStreett,
+			Witness: mustLasso(t, "", "a"),
+		}},
+	}
+}
+
+// TestCodecRoundTrip pins the canonical encoding: every value decodes
+// back to itself, and re-encoding the decoded value reproduces the same
+// bytes (determinism is what makes records comparable and checksummable
+// byte-wise).
+func TestCodecRoundTrip(t *testing.T) {
+	for key, v := range codecValues(t) {
+		payload, err := encodeRecord(key, v)
+		if err != nil {
+			t.Fatalf("encode %q: %v", key, err)
+		}
+		gotKey, got, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatalf("decode %q: %v", key, err)
+		}
+		if gotKey != key {
+			t.Fatalf("key round-trip: %q -> %q", key, gotKey)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("value round-trip %q:\n got %+v\nwant %+v", key, got, v)
+		}
+		again, err := encodeRecord(gotKey, got)
+		if err != nil {
+			t.Fatalf("re-encode %q: %v", key, err)
+		}
+		if string(again) != string(payload) {
+			t.Fatalf("encoding of %q is not deterministic", key)
+		}
+	}
+}
+
+// TestEncodeRefusals pins what must never reach the log: fallback
+// outcomes, unknown kinds, empty keys and out-of-range fields.
+func TestEncodeRefusals(t *testing.T) {
+	cases := []struct {
+		name string
+		key  string
+		v    Value
+	}{
+		{"fallback outcome", "k", Value{Kind: KindOutcome, Outcome: plan.Outcome{Fallback: true}}},
+		{"unknown kind", "k", Value{Kind: 99}},
+		{"zero kind", "k", Value{}},
+		{"empty key", "", Value{Kind: KindClassification}},
+		{"oversized key", string(make([]byte, maxStringLen+1)), Value{Kind: KindClassification}},
+		{"negative rank", "k", Value{Kind: KindClassification, Class: core.Classification{ObligationRank: -1}}},
+		{"huge rank", "k", Value{Kind: KindClassification, Class: core.Classification{ReactivityRank: maxRank + 1}}},
+		{"tier out of range", "k", Value{Kind: KindOutcome, Outcome: plan.Outcome{Tier: plan.TierPersistence + 1}}},
+		{"negative cost", "k", Value{Kind: KindOutcome, Outcome: plan.Outcome{Cost: plan.Cost{ProductStates: -1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := encodeRecord(tc.key, tc.v); err == nil {
+			t.Errorf("%s: encode succeeded, want refusal", tc.name)
+		}
+	}
+}
+
+// TestDecodeStrictness pins the strict-decoder contract: corrupt or
+// non-canonical payloads fail with ErrCodec, and no input panics.
+func TestDecodeStrictness(t *testing.T) {
+	good, err := encodeRecord("classify|x", Value{Kind: KindClassification, Class: core.Classification{Safety: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"kind only", []byte{byte(KindClassification)}},
+		{"unknown kind", []byte{99, 1, 'k'}},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+		{"truncated", good[:len(good)-1]},
+		{"empty key", []byte{byte(KindClassification), 0, 0, 0, 0}},
+		{"unknown class bits", []byte{byte(KindClassification), 1, 'k', 0xff, 0, 0}},
+		{"string overruns payload", []byte{byte(KindClassification), 200}},
+		{"bad uvarint", append([]byte{byte(KindClassification)}, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)},
+		{"unknown outcome flags", []byte{byte(KindOutcome), 1, 'k', 0xf0, 0, 0, 0, 0, 0}},
+		{"tier byte out of range", []byte{byte(KindOutcome), 1, 'k', 0, 200, 0, 0, 0, 0}},
+		{"witness empty loop", func() []byte {
+			// flagWitness set, prefix and loop both zero-length: NewLasso
+			// must reject the empty loop.
+			return []byte{byte(KindOutcome), 1, 'k', flagWitness, 0, 0, 0, 0, 0, 0, 0}
+		}()},
+	}
+	for _, tc := range cases {
+		_, _, err := decodeRecord(tc.payload)
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: error %v does not wrap ErrCodec", tc.name, err)
+		}
+	}
+}

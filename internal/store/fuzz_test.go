@@ -1,0 +1,66 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/word"
+)
+
+// FuzzStoreDecode holds decodeRecord to its two contracts on arbitrary
+// bytes: it never panics, and anything it accepts is canonical — the
+// decoded verdict re-encodes deterministically and round-trips to the
+// same key and value. scripts/check.sh runs this as a short fuzz smoke;
+// `go test -fuzz FuzzStoreDecode ./internal/store/` digs deeper.
+func FuzzStoreDecode(f *testing.F) {
+	// Seed corpus: one valid payload per record shape, plus classic
+	// malformations so the fuzzer starts at the interesting boundaries.
+	seed := func(key string, v Value) {
+		payload, err := encodeRecord(key, v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	seed("classify|a", Value{Kind: KindClassification, Class: core.Classification{
+		Safety: true, Obligation: true, ObligationRank: 2, ReactivityRank: 1,
+	}})
+	seed("empty|b", Value{Kind: KindOutcome, Outcome: plan.Outcome{
+		Holds: true, Tier: plan.TierRecurrence, Planned: plan.TierRecurrence,
+		Reason: "seed", Cost: plan.Cost{ProductStates: 5, SCCPasses: 1},
+	}})
+	witness, err := word.NewLasso(word.FiniteFromString("ab"), word.FiniteFromString("ba"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed("contains|c|d", Value{Kind: KindOutcome, Outcome: plan.Outcome{
+		Tier: plan.TierStreett, Planned: plan.TierSafety, Reason: "witnessed",
+		Witness: witness,
+	}})
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindClassification)})
+	f.Add([]byte{byte(KindOutcome), 1, 'k', flagWitness, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0x80}, 16)) // unterminated uvarint
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, v, err := decodeRecord(data) // must never panic
+		if err != nil {
+			return
+		}
+		payload, err := encodeRecord(key, v)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v (key %q, value %+v)", err, key, v)
+		}
+		key2, v2, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v", err)
+		}
+		if key2 != key || !reflect.DeepEqual(v2, v) {
+			t.Fatalf("round-trip drift:\n first %q %+v\n second %q %+v", key, v, key2, v2)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// On-disk layout. The file opens with an 8-byte magic (which doubles as
+// the format version — a layout change mints a new magic), followed by
+// records back to back:
+//
+//	[4B little-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// The CRC covers the payload only; the length field is validated by
+// plausibility (non-zero, under maxRecordLen, inside the file). A
+// record whose CRC or payload decode fails is quarantined: skipped by
+// the scan, counted, never indexed. A tail from which no plausible
+// record header can be read — the signature of a crash mid-append — is
+// truncated so the log stays appendable.
+const (
+	logMagic      = "TVSTOR1\n"
+	frameOverhead = 8 // length + crc
+	maxRecordLen  = 1 << 21
+)
+
+// frameRecord wraps an encoded payload in the on-disk frame.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameOverhead:], payload)
+	return buf
+}
+
+// scanStats reports what a log scan found.
+type scanStats struct {
+	records   int64 // checksum-valid, decodable records indexed
+	corrupt   int64 // quarantined records (bad CRC or bad decode)
+	truncated int64 // unparseable tail bytes dropped
+}
+
+// scanLog reads the whole log from f (positioned past the header),
+// indexing every valid record into out (later records win, so an
+// overwrite is a plain append). It returns the offset just past the
+// last parseable record; bytes beyond it are an unparseable tail the
+// caller must truncate.
+func scanLog(data []byte, base int64, out map[string]Value) (goodEnd int64, st scanStats) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			break // torn header: tail truncation
+		}
+		length := int(binary.LittleEndian.Uint32(rest[0:4]))
+		if length == 0 || length > maxRecordLen || frameOverhead+length > len(rest) {
+			break // implausible length: unparseable from here on
+		}
+		payload := rest[frameOverhead : frameOverhead+length]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			st.corrupt++ // quarantined: stride over it, serve nothing
+			off += frameOverhead + length
+			continue
+		}
+		key, v, err := decodeRecord(payload)
+		if err != nil {
+			st.corrupt++ // checksum fine but content malformed: quarantine
+			off += frameOverhead + length
+			continue
+		}
+		out[key] = v
+		st.records++
+		off += frameOverhead + length
+	}
+	st.truncated = int64(len(data) - off)
+	return base + int64(off), st
+}
+
+// openLog opens (creating if absent) the log file, verifies or writes
+// the header, scans every record into a fresh index and truncates any
+// unparseable tail. It returns the opened file positioned for appends.
+func openLog(path string) (*os.File, map[string]Value, scanStats, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, scanStats{}, err
+	}
+	fail := func(err error) (*os.File, map[string]Value, scanStats, error) {
+		f.Close()
+		return nil, nil, scanStats{}, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if info.Size() < int64(len(logMagic)) {
+		// Empty or mid-creation torn header: no record can exist yet, so
+		// rewriting the header from scratch loses nothing.
+		if err := f.Truncate(0); err != nil {
+			return fail(err)
+		}
+		if _, err := f.WriteAt([]byte(logMagic), 0); err != nil {
+			return fail(err)
+		}
+		if _, err := f.Seek(int64(len(logMagic)), io.SeekStart); err != nil {
+			return fail(err)
+		}
+		return f, map[string]Value{}, scanStats{}, nil
+	}
+	hdr := make([]byte, len(logMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return fail(err)
+	}
+	if string(hdr) != logMagic {
+		// Wrong or corrupted magic: this is either not our file or a
+		// store damaged at offset zero. Refuse rather than clobber —
+		// the whole file is quarantined and the caller runs in-memory.
+		return fail(fmt.Errorf("store: %s: bad magic %q (not a verdict store, or corrupted header)", path, hdr))
+	}
+	data := make([]byte, info.Size()-int64(len(logMagic)))
+	if _, err := io.ReadFull(io.NewSectionReader(f, int64(len(logMagic)), int64(len(data))), data); err != nil {
+		return fail(err)
+	}
+	idx := map[string]Value{}
+	goodEnd, st := scanLog(data, int64(len(logMagic)), idx)
+	if st.truncated > 0 {
+		if err := f.Truncate(goodEnd); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	return f, idx, st, nil
+}

@@ -1,0 +1,404 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Process-wide store counters, exported through the obs snapshot and
+// /metrics (store_* in the Prometheus exposition). Per-store figures
+// come from Store.Stats.
+var (
+	cntHits      = obs.NewCounter("store.hits")
+	cntMisses    = obs.NewCounter("store.misses")
+	cntWrites    = obs.NewCounter("store.writes")
+	cntDropped   = obs.NewCounter("store.dropped_writes")
+	cntCorrupt   = obs.NewCounter("store.corrupt_records")
+	cntTruncated = obs.NewCounter("store.truncated_bytes")
+	cntDisabled  = obs.NewCounter("store.disabled")
+)
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncOnFlush (the default) fsyncs only on Flush and Close. A crash
+	// between flushes can lose recently appended verdicts — they are
+	// recomputable — but never corrupts what an earlier fsync made
+	// durable, and the torn tail is truncated on the next open.
+	SyncOnFlush SyncPolicy = iota
+	// SyncAlways fsyncs after every appended record: maximum
+	// durability, one fsync per write-behind batch element.
+	SyncAlways
+	// SyncNever leaves all syncing to the OS page cache.
+	SyncNever
+)
+
+// DefaultQueueSize bounds the write-behind queue when WithQueueSize is
+// not given.
+const DefaultQueueSize = 256
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithSync selects the fsync policy (default SyncOnFlush).
+func WithSync(p SyncPolicy) Option {
+	return func(s *Store) { s.sync = p }
+}
+
+// WithQueueSize bounds the write-behind queue to n pending records;
+// n < 1 is clamped to 1. When the queue is full, new writes are dropped
+// (and counted) rather than blocking the serving path.
+func WithQueueSize(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			n = 1
+		}
+		s.queueSize = n
+	}
+}
+
+// Stats is a snapshot of one store's state and traffic.
+type Stats struct {
+	// Enabled reports the circuit is closed: the store is open and
+	// serving. False before Open succeeds, after Close, and after any
+	// store error tripped the breaker; Reason says why.
+	Enabled bool
+	Reason  string
+	// Records is the resident index size (verdicts servable from this
+	// store, including not-yet-flushed write-behind entries).
+	Records int64
+	Hits    int64 // lookups answered from the index
+	Misses  int64 // lookups that were absent
+	Writes  int64 // records durably handed to the OS (appended)
+	// DroppedWrites counts puts discarded because the write-behind
+	// queue was full or the store was disabled mid-flight.
+	DroppedWrites int64
+	// CorruptRecords counts records quarantined by the open scan (bad
+	// checksum or undecodable payload) — detected, skipped, never served.
+	CorruptRecords int64
+	// TruncatedBytes counts unparseable tail bytes dropped on open (a
+	// torn append from a crash).
+	TruncatedBytes int64
+}
+
+// wreq is one write-behind queue element: a framed record to append, or
+// a control request (ack non-nil) asking the writer to sync — and, for
+// stop, to close the file and exit.
+type wreq struct {
+	frame []byte
+	ack   chan error
+	stop  bool
+}
+
+// Store is a persistent verdict tier. All methods are safe for
+// concurrent use. Lookups are served from the in-memory index rebuilt
+// at Open; writes are appended through a bounded write-behind queue by
+// one background writer goroutine. Any store error — checksum or decode
+// trouble, a failing disk, an injected fault — trips a circuit breaker
+// that permanently disables this store instance: Get misses, Put drops,
+// and the process degrades to in-memory operation. A disabled store
+// never panics and never returns a verdict.
+type Store struct {
+	path      string
+	sync      SyncPolicy
+	queueSize int
+
+	mu     sync.Mutex
+	idx    map[string]Value
+	closed bool
+
+	reqs chan wreq
+	wg   sync.WaitGroup
+
+	disabled atomic.Bool
+	reason   atomic.Value // string
+
+	hits, misses, writes, dropped atomic.Int64
+	corrupt, truncated            int64 // fixed at open
+}
+
+// Open opens (creating if needed) the verdict log at path, scans it
+// into the in-memory index — quarantining corrupt records and
+// truncating any torn tail — and starts the write-behind writer. An
+// open failure counts one store.disabled increment: the caller is
+// expected to degrade to in-memory operation, exactly as if the
+// breaker had tripped later.
+func Open(path string, opts ...Option) (*Store, error) {
+	s := &Store{path: path, sync: SyncOnFlush, queueSize: DefaultQueueSize}
+	for _, o := range opts {
+		o(s)
+	}
+	f, idx, st, err := openLog(path)
+	if err != nil {
+		cntDisabled.Inc()
+		return nil, err
+	}
+	cntCorrupt.Add(st.corrupt)
+	cntTruncated.Add(st.truncated)
+	s.idx = idx
+	s.corrupt = st.corrupt
+	s.truncated = st.truncated
+	s.reqs = make(chan wreq, s.queueSize)
+	s.wg.Add(1)
+	go s.writer(f)
+	return s, nil
+}
+
+// writer is the single write-behind goroutine: it owns the file, drains
+// the queue, and exits on the stop request Close enqueues. After the
+// breaker trips it keeps draining (so Flush acks still arrive and Close
+// cannot hang) but appends nothing further.
+func (s *Store) writer(f fileLike) {
+	defer s.wg.Done()
+	for req := range s.reqs {
+		switch {
+		case req.stop:
+			err := s.syncNow(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			req.ack <- err
+			return
+		case req.ack != nil: // flush
+			req.ack <- s.syncNow(f)
+		case s.disabled.Load():
+			s.dropped.Add(1)
+			cntDropped.Inc()
+		default:
+			if err := fault.Hit(fault.SiteStoreWrite); err != nil {
+				s.disable(fmt.Sprintf("write: %v", err))
+				continue
+			}
+			if _, err := f.Write(req.frame); err != nil {
+				s.disable(fmt.Sprintf("append: %v", err))
+				continue
+			}
+			s.writes.Add(1)
+			cntWrites.Inc()
+			if s.sync == SyncAlways {
+				if err := f.Sync(); err != nil {
+					s.disable(fmt.Sprintf("fsync: %v", err))
+				}
+			}
+		}
+	}
+}
+
+// fileLike is the slice of *os.File the writer needs; tests substitute
+// failing implementations to exercise the breaker.
+type fileLike interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+func (s *Store) syncNow(f fileLike) error {
+	if s.disabled.Load() || s.sync == SyncNever {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		s.disable(fmt.Sprintf("fsync: %v", err))
+		return err
+	}
+	return nil
+}
+
+// disable trips the circuit breaker: the store stops serving and
+// accepting, permanently for this instance. Idempotent; only the first
+// trip counts and keeps its reason.
+func (s *Store) disable(reason string) {
+	if s.disabled.CompareAndSwap(false, true) {
+		s.reason.Store(reason)
+		cntDisabled.Inc()
+	}
+}
+
+// Disabled reports whether the circuit breaker has tripped, and why.
+func (s *Store) Disabled() (bool, string) {
+	if !s.disabled.Load() {
+		return false, ""
+	}
+	r, _ := s.reason.Load().(string)
+	return true, r
+}
+
+// Get returns the stored verdict for key. A disabled store misses
+// unconditionally; a read fault trips the breaker and misses. Get
+// never returns a value that did not pass the open scan's checksum and
+// decode validation.
+func (s *Store) Get(key string) (Value, bool) {
+	if s.disabled.Load() {
+		return Value{}, false
+	}
+	if err := fault.Hit(fault.SiteStoreRead); err != nil {
+		s.disable(fmt.Sprintf("read: %v", err))
+		return Value{}, false
+	}
+	s.mu.Lock()
+	v, ok := s.idx[key]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return Value{}, false
+	}
+	if ok {
+		s.hits.Add(1)
+		cntHits.Inc()
+		return v, true
+	}
+	s.misses.Add(1)
+	cntMisses.Inc()
+	return Value{}, false
+}
+
+// Put persists the verdict under key, write-behind: the record is
+// indexed immediately (so in-process lookups hit) and appended by the
+// background writer. Keys are content-addressed, so a key already
+// present is left alone — identical content, nothing to update. A full
+// queue drops the write (counted) instead of blocking the caller; an
+// encoding failure trips the breaker, because a verdict that cannot be
+// canonically encoded must never reach the log.
+func (s *Store) Put(key string, v Value) {
+	if s.disabled.Load() {
+		return
+	}
+	payload, err := encodeRecord(key, v)
+	if err != nil {
+		s.disable(fmt.Sprintf("encode: %v", err))
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, exists := s.idx[key]; exists {
+		s.mu.Unlock()
+		return
+	}
+	s.idx[key] = v
+	// The enqueue happens under mu so it is ordered before any Close
+	// (which marks closed under mu before enqueueing stop): the writer
+	// is guaranteed to still be draining.
+	select {
+	case s.reqs <- wreq{frame: frameRecord(payload)}:
+	default:
+		s.dropped.Add(1)
+		cntDropped.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// Flush drains every queued write and fsyncs the log (per the sync
+// policy). It returns the first breaker-tripping error, if flushing
+// surfaced one.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	ack := make(chan error, 1)
+	s.reqs <- wreq{ack: ack}
+	s.mu.Unlock()
+	return <-ack
+}
+
+// Close drains the queue, fsyncs, closes the file and stops the writer.
+// Idempotent; Get and Put after Close are safe no-ops.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ack := make(chan error, 1)
+	s.reqs <- wreq{stop: true, ack: ack}
+	s.mu.Unlock()
+	err := <-ack
+	s.wg.Wait()
+	return err
+}
+
+// Len returns the resident index size.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Stats returns a snapshot of this store's state and traffic.
+func (s *Store) Stats() Stats {
+	disabled, reason := s.Disabled()
+	s.mu.Lock()
+	records := int64(len(s.idx))
+	closed := s.closed
+	s.mu.Unlock()
+	if closed && !disabled {
+		disabled, reason = true, "closed"
+	}
+	return Stats{
+		Enabled:        !disabled,
+		Reason:         reason,
+		Records:        records,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Writes:         s.writes.Load(),
+		DroppedWrites:  s.dropped.Load(),
+		CorruptRecords: s.corrupt,
+		TruncatedBytes: s.truncated,
+	}
+}
+
+// Typed convenience accessors — the engine's view of the store.
+
+// GetClassification returns the classification stored under key. A
+// record of the wrong kind under a classification key means the
+// content-addressing broke somewhere: the breaker trips and the lookup
+// misses, because serving it could only ever be wrong.
+func (s *Store) GetClassification(key string) (core.Classification, bool) {
+	v, ok := s.Get(key)
+	if !ok {
+		return core.Classification{}, false
+	}
+	if v.Kind != KindClassification {
+		s.disable(fmt.Sprintf("kind mismatch: classification key %q holds kind %d", key, v.Kind))
+		return core.Classification{}, false
+	}
+	return v.Class, true
+}
+
+// PutClassification persists a classification verdict.
+func (s *Store) PutClassification(key string, c core.Classification) {
+	s.Put(key, Value{Kind: KindClassification, Class: c})
+}
+
+// GetOutcome returns the planned outcome stored under key, with the
+// same kind-mismatch discipline as GetClassification.
+func (s *Store) GetOutcome(key string) (plan.Outcome, bool) {
+	v, ok := s.Get(key)
+	if !ok {
+		return plan.Outcome{}, false
+	}
+	if v.Kind != KindOutcome {
+		s.disable(fmt.Sprintf("kind mismatch: outcome key %q holds kind %d", key, v.Kind))
+		return plan.Outcome{}, false
+	}
+	return v.Outcome, true
+}
+
+// PutOutcome persists a planned outcome. Fallback outcomes are refused
+// by the codec (the breaker would trip), so callers must filter them —
+// the engine already never persists a fallback.
+func (s *Store) PutOutcome(key string, out plan.Outcome) {
+	s.Put(key, Value{Kind: KindOutcome, Outcome: out})
+}

@@ -1,0 +1,366 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/plan"
+)
+
+func tmpStore(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "verdicts.log")
+}
+
+func open(t *testing.T, path string, opts ...Option) *Store {
+	t.Helper()
+	s, err := Open(path, opts...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return s
+}
+
+var (
+	classSafety = core.Classification{Safety: true, Obligation: true, Recurrence: true, Persistence: true, Reactivity: true, ObligationRank: 1, ReactivityRank: 1}
+	outHolds    = plan.Outcome{Holds: true, Tier: plan.TierSafety, Planned: plan.TierSafety, Reason: "test", Cost: plan.Cost{ProductStates: 3}}
+)
+
+// TestStoreRoundTrip covers the in-process path: a put is servable
+// immediately (write-behind indexes before the append lands) and the
+// traffic counters see both hits and misses.
+func TestStoreRoundTrip(t *testing.T) {
+	s := open(t, tmpStore(t))
+	defer s.Close()
+
+	s.PutClassification("classify|a", classSafety)
+	s.PutOutcome("empty|b", outHolds)
+
+	if c, ok := s.GetClassification("classify|a"); !ok || c != classSafety {
+		t.Fatalf("GetClassification = %+v, %v", c, ok)
+	}
+	if out, ok := s.GetOutcome("empty|b"); !ok || out.Holds != outHolds.Holds || out.Tier != outHolds.Tier {
+		t.Fatalf("GetOutcome = %+v, %v", out, ok)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	st := s.Stats()
+	if !st.Enabled || st.Records != 2 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestStoreReopenWarm is the warm-start contract: a second process (a
+// fresh Open of the same path) serves everything the first one flushed.
+func TestStoreReopenWarm(t *testing.T) {
+	path := tmpStore(t)
+	s := open(t, path)
+	for i := 0; i < 10; i++ {
+		s.PutClassification(fmt.Sprintf("classify|%d", i), classSafety)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := open(t, path)
+	defer warm.Close()
+	st := warm.Stats()
+	if st.Records != 10 || st.CorruptRecords != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		if c, ok := warm.GetClassification(fmt.Sprintf("classify|%d", i)); !ok || c != classSafety {
+			t.Fatalf("warm get %d = %+v, %v", i, c, ok)
+		}
+	}
+}
+
+// TestStorePutDedupe: keys are content-addressed, so re-putting an
+// existing key appends nothing — one record per key on disk, however
+// often the engine re-derives the verdict.
+func TestStorePutDedupe(t *testing.T) {
+	path := tmpStore(t)
+	s := open(t, path)
+	for i := 0; i < 5; i++ {
+		s.PutClassification("classify|same", classSafety)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Writes; got != 1 {
+		t.Fatalf("writes = %d, want 1 (deduped)", got)
+	}
+	s.Close()
+
+	warm := open(t, path)
+	defer warm.Close()
+	if warm.Len() != 1 {
+		t.Fatalf("reopened store holds %d records, want 1", warm.Len())
+	}
+}
+
+// TestStoreWriteFaultTripsBreaker: an injected append fault disables the
+// store — later lookups miss, later puts drop, and the reason surfaces
+// in Stats. The already-open process keeps running; nothing errors out.
+func TestStoreWriteFaultTripsBreaker(t *testing.T) {
+	defer fault.Reset()
+	s := open(t, tmpStore(t))
+	defer s.Close()
+
+	fault.InjectError(fault.SiteStoreWrite, 1, errors.New("boom"))
+	s.PutClassification("classify|a", classSafety)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after breaker trip: %v", err)
+	}
+
+	disabled, reason := s.Disabled()
+	if !disabled || !strings.Contains(reason, "boom") {
+		t.Fatalf("Disabled() = %v, %q", disabled, reason)
+	}
+	if _, ok := s.GetClassification("classify|a"); ok {
+		t.Fatal("disabled store served a verdict")
+	}
+	st := s.Stats()
+	if st.Enabled {
+		t.Fatalf("stats report enabled after breaker trip: %+v", st)
+	}
+	// Writes after the trip are dropped, not queued forever.
+	s.PutClassification("classify|b", classSafety)
+	if s.Stats().Writes != 0 {
+		t.Fatalf("writes landed after breaker trip: %+v", s.Stats())
+	}
+}
+
+// TestStoreReadFaultTripsBreaker: a read fault (a failing disk observed
+// at lookup time) likewise self-disables; the lookup misses rather than
+// erroring, so the caller's decision query proceeds in-memory.
+func TestStoreReadFaultTripsBreaker(t *testing.T) {
+	defer fault.Reset()
+	s := open(t, tmpStore(t))
+	defer s.Close()
+	s.PutClassification("classify|a", classSafety)
+
+	fault.InjectError(fault.SiteStoreRead, 1, errors.New("io pressure"))
+	if _, ok := s.GetClassification("classify|a"); ok {
+		t.Fatal("faulted read served a verdict")
+	}
+	if disabled, reason := s.Disabled(); !disabled || !strings.Contains(reason, "io pressure") {
+		t.Fatalf("Disabled() = %v, %q", disabled, reason)
+	}
+}
+
+// failingFile is a fileLike whose configured operation fails; the writer
+// must trip the breaker and keep draining.
+type failingFile struct {
+	writeErr, syncErr error
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	return len(p), nil
+}
+func (f *failingFile) Sync() error  { return f.syncErr }
+func (f *failingFile) Close() error { return nil }
+
+// startManual builds a store around an arbitrary fileLike without going
+// through Open — the white-box harness for writer error paths.
+func startManual(f fileLike, opts ...Option) *Store {
+	s := &Store{sync: SyncOnFlush, queueSize: DefaultQueueSize, idx: map[string]Value{}}
+	for _, o := range opts {
+		o(s)
+	}
+	s.reqs = make(chan wreq, s.queueSize)
+	s.wg.Add(1)
+	go s.writer(f)
+	return s
+}
+
+// TestWriterAppendFailureDisables: a failing Write disables the store
+// with an append reason, and Close still completes (the writer keeps
+// draining after the trip).
+func TestWriterAppendFailureDisables(t *testing.T) {
+	s := startManual(&failingFile{writeErr: errors.New("ENOSPC")})
+	s.PutClassification("classify|a", classSafety)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if disabled, reason := s.Disabled(); !disabled || !strings.Contains(reason, "append") {
+		t.Fatalf("Disabled() = %v, %q", disabled, reason)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after append failure: %v", err)
+	}
+}
+
+// TestWriterSyncFailureDisables covers both fsync paths: SyncAlways
+// (fsync per record) and the Flush-time fsync.
+func TestWriterSyncFailureDisables(t *testing.T) {
+	t.Run("SyncAlways", func(t *testing.T) {
+		s := startManual(&failingFile{syncErr: errors.New("EIO")}, WithSync(SyncAlways))
+		s.PutClassification("classify|a", classSafety)
+		_ = s.Flush()
+		if disabled, reason := s.Disabled(); !disabled || !strings.Contains(reason, "fsync") {
+			t.Fatalf("Disabled() = %v, %q", disabled, reason)
+		}
+		_ = s.Close()
+	})
+	t.Run("OnFlush", func(t *testing.T) {
+		s := startManual(&failingFile{syncErr: errors.New("EIO")})
+		s.PutClassification("classify|a", classSafety)
+		if err := s.Flush(); err == nil {
+			t.Fatal("flush reported no error for a failing fsync")
+		}
+		if disabled, _ := s.Disabled(); !disabled {
+			t.Fatal("failing fsync did not trip the breaker")
+		}
+		_ = s.Close()
+	})
+	t.Run("SyncNeverIgnoresSync", func(t *testing.T) {
+		s := startManual(&failingFile{syncErr: errors.New("EIO")}, WithSync(SyncNever))
+		s.PutClassification("classify|a", classSafety)
+		if err := s.Flush(); err != nil {
+			t.Fatalf("SyncNever flush: %v", err)
+		}
+		if disabled, _ := s.Disabled(); disabled {
+			t.Fatal("SyncNever tripped the breaker on a sync error it must never issue")
+		}
+		_ = s.Close()
+	})
+}
+
+// TestStoreQueueFullDrops: with no writer draining, a bounded queue
+// drops overflow puts (counted) instead of blocking the serving path.
+func TestStoreQueueFullDrops(t *testing.T) {
+	// No writer goroutine at all: every queue slot stays occupied.
+	s := &Store{sync: SyncOnFlush, queueSize: 2, idx: map[string]Value{}}
+	s.reqs = make(chan wreq, s.queueSize)
+	for i := 0; i < 5; i++ {
+		s.PutClassification(fmt.Sprintf("classify|%d", i), classSafety)
+	}
+	st := s.Stats()
+	if st.DroppedWrites != 3 {
+		t.Fatalf("dropped = %d, want 3 (queue of 2, 5 puts)", st.DroppedWrites)
+	}
+	// Dropped writes still index — they serve in-process, they just
+	// won't survive a restart.
+	if st.Records != 5 {
+		t.Fatalf("records = %d, want 5", st.Records)
+	}
+}
+
+// TestStoreKindMismatchDisables: a record of the wrong kind under a
+// typed key means content-addressing broke; serving it could only be
+// wrong, so the breaker trips and the lookup misses.
+func TestStoreKindMismatchDisables(t *testing.T) {
+	s := open(t, tmpStore(t))
+	defer s.Close()
+	s.PutOutcome("classify|a", outHolds) // wrong kind under a classify key
+	if _, ok := s.GetClassification("classify|a"); ok {
+		t.Fatal("kind-mismatched record served")
+	}
+	if disabled, reason := s.Disabled(); !disabled || !strings.Contains(reason, "kind mismatch") {
+		t.Fatalf("Disabled() = %v, %q", disabled, reason)
+	}
+}
+
+// TestStoreCloseIdempotent: Close twice is fine, and a closed store is
+// inert — gets miss, puts drop, stats say why.
+func TestStoreCloseIdempotent(t *testing.T) {
+	s := open(t, tmpStore(t))
+	s.PutClassification("classify|a", classSafety)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, ok := s.GetClassification("classify|a"); ok {
+		t.Fatal("closed store served a verdict")
+	}
+	s.PutClassification("classify|b", classSafety) // must not panic or block
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after close: %v", err)
+	}
+	st := s.Stats()
+	if st.Enabled || st.Reason != "closed" {
+		t.Fatalf("closed stats = %+v", st)
+	}
+}
+
+// TestOpenBadMagic: a file that is not a verdict store is refused, not
+// clobbered — its bytes must be exactly as we left them.
+func TestOpenBadMagic(t *testing.T) {
+	path := tmpStore(t)
+	content := []byte("definitely not a verdict store, more than 8 bytes")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a foreign file")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(content) {
+		t.Fatal("refused file was modified")
+	}
+}
+
+// TestOpenShortFile: anything shorter than the magic cannot hold a
+// record, so it is rewritten as a fresh store.
+func TestOpenShortFile(t *testing.T) {
+	path := tmpStore(t)
+	if err := os.WriteFile(path, []byte("TVS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, path)
+	if s.Len() != 0 {
+		t.Fatalf("short file opened with %d records", s.Len())
+	}
+	s.PutClassification("classify|a", classSafety)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	warm := open(t, path)
+	defer warm.Close()
+	if warm.Len() != 1 {
+		t.Fatalf("rewritten store reopened with %d records, want 1", warm.Len())
+	}
+}
+
+// TestStoreConcurrentUse exercises the mutex/atomic discipline under the
+// race detector: concurrent puts, gets and a flush.
+func TestStoreConcurrentUse(t *testing.T) {
+	s := open(t, tmpStore(t))
+	defer s.Close()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("classify|%d", i%10)
+				s.PutClassification(key, classSafety)
+				s.GetClassification(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("records = %d, want 10", s.Len())
+	}
+}

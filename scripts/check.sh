@@ -55,6 +55,10 @@ cov_floor ./internal/obshttp/ 92
 # untested branch here silently routes queries to the wrong algorithm.
 cov_floor ./internal/plan/ 85
 cov_floor ./internal/cli/ 80
+# The persistent store is the crash-safety surface: an untested decode
+# or recovery branch is exactly where corrupted bytes turn into wrong
+# verdicts.
+cov_floor ./internal/store/ 85
 
 # Graph-algorithm lint: SCC decomposition, reachability closures and
 # state-pair/key interning live in internal/autkern only. A new Tarjan
@@ -105,6 +109,7 @@ echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzLTLParse -fuzztime=10s ./internal/ltl/
 go test -run='^$' -fuzz=FuzzRegexParse -fuzztime=10s ./internal/regex/
 go test -run='^$' -fuzz=FuzzOmegaParseText -fuzztime=10s ./internal/omega/
+go test -run='^$' -fuzz=FuzzStoreDecode -fuzztime=10s ./internal/store/
 
 # CLI failure modes: malformed or refused inputs must exit non-zero with
 # a one-line diagnostic on stderr — never a stack trace, never success.
@@ -161,6 +166,49 @@ done
 kill "$temporald_pid"
 wait "$temporald_pid" 2>/dev/null || true
 echo "temporald smoke ok ($daemon_addr)"
+
+# Warm-start smoke: boot the daemon against a verdict store, classify
+# once, SIGTERM it (the drain path flushes write-behind verdicts), boot
+# a second daemon on the same store, classify the same formula, and
+# require the second boot to have served from disk (store_hits > 0 in
+# /metrics) with the store healthy in /healthz.
+echo "== temporald warm-start smoke =="
+store_boot() { # addr-file path
+    "$tmp/temporald" -addr 127.0.0.1:0 -addr-file "$1" -store "$tmp/verdicts.log" &
+    temporald_pid=$!
+    for _ in $(seq 1 50); do
+        [ -s "$1" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$1" ]; then
+        echo "temporald (-store) did not write its address file" >&2
+        kill "$temporald_pid" 2>/dev/null || true
+        exit 1
+    fi
+}
+store_boot "$tmp/addr1"
+"$tmp/temporald" -probe "$(cat "$tmp/addr1")" -classify 'G (req -> F ack)' > /dev/null
+kill "$temporald_pid"
+wait "$temporald_pid" 2>/dev/null || true
+if [ ! -s "$tmp/verdicts.log" ]; then
+    echo "first boot persisted nothing to $tmp/verdicts.log" >&2
+    exit 1
+fi
+store_boot "$tmp/addr2"
+warm_out=$("$tmp/temporald" -probe "$(cat "$tmp/addr2")" -classify 'G (req -> F ack)')
+kill "$temporald_pid"
+wait "$temporald_pid" 2>/dev/null || true
+if ! grep -q '"store_enabled":true' <<<"$warm_out"; then
+    echo "second boot /healthz does not report an enabled store:" >&2
+    echo "$warm_out" | head -5 >&2
+    exit 1
+fi
+warm_hits=$(grep '^store_hits ' <<<"$warm_out" | awk '{print $2}')
+if [ -z "$warm_hits" ] || [ "$warm_hits" -eq 0 ]; then
+    echo "second boot served no disk-warm verdicts (store_hits=${warm_hits:-missing})" >&2
+    exit 1
+fi
+echo "temporald warm-start smoke ok (store_hits=$warm_hits)"
 
 : > "$tmp/empty.txt"
 cli_must_fail "classify empty batch" "empty input" \

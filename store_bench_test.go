@@ -1,0 +1,125 @@
+package temporal_test
+
+// Benchmarks for the persistent verdict store (PR 8). The cold/warm
+// pair is the warm-start value proposition in numbers: each iteration
+// boots a FRESH engine (so the in-memory memo cache starts empty) and
+// classifies the same suite — cold engines compute every verdict, warm
+// engines re-serve them from the verdict log seeded before the timed
+// loop. scripts/bench.sh gates warm ≥ 2x faster than cold. The
+// remaining families price the store's moving parts in isolation:
+// lookup cost on the serving path, put cost on the write-behind path,
+// and the open-time recovery scan that warm starts pay once per boot.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	temporal "repro"
+	"repro/internal/ltl"
+)
+
+// benchSuite is the classified corpus: the six canonical formulas of
+// the hierarchy plus rank-bearing variants, big enough that verdict
+// recomputation dominates engine construction.
+var benchSuite = []string{
+	"G !(c1 & c2)",
+	"F done",
+	"G p | F q",
+	"G (req -> F ack)",
+	"F G stable",
+	"G F e -> G F t",
+	"(G F a -> G F b) & (G F c -> G F d)",
+	"G (a -> F b) & G (c -> F d)",
+}
+
+func classifySuite(b *testing.B, eng *temporal.Engine) {
+	b.Helper()
+	ctx := context.Background()
+	for _, src := range benchSuite {
+		if _, err := eng.ClassifyFormula(ctx, ltl.MustParse(src), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreColdStart: fresh engine, empty store — every verdict is
+// computed and persisted. This is the baseline the warm gate divides.
+func BenchmarkStoreColdStart(b *testing.B) {
+	dir := b.TempDir()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A distinct path per iteration keeps every run genuinely cold:
+		// reusing one path would warm-start iterations 2..N.
+		eng := temporal.NewEngine(temporal.WithPersistentStore(
+			filepath.Join(dir, fmt.Sprintf("cold-%d.log", i))))
+		classifySuite(b, eng)
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreWarmStart: fresh engine per iteration against a store
+// seeded once — every verdict is served from disk. The bench.sh
+// warm-restart gate requires this to run at least 2x faster than
+// BenchmarkStoreColdStart.
+func BenchmarkStoreWarmStart(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "warm.log")
+	seed := temporal.NewEngine(temporal.WithPersistentStore(path))
+	classifySuite(b, seed)
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := temporal.NewEngine(temporal.WithPersistentStore(path))
+		classifySuite(b, eng)
+		st := eng.StoreStats()
+		if st.Hits == 0 {
+			b.Fatalf("warm iteration served nothing from disk: %+v", st)
+		}
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreInMemoryBaseline prices the same suite with no store at
+// all — the figure cold starts should sit near (persistence is
+// write-behind, so the write path must not tax the serving path).
+func BenchmarkStoreInMemoryBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := temporal.NewEngine()
+		classifySuite(b, eng)
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreOpenScan prices warm-start recovery itself: opening a
+// seeded log replays its records through CRC check and strict decode
+// into the index. One open+close per iteration, no queries.
+func BenchmarkStoreOpenScan(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "scan.log")
+	seed := temporal.NewEngine(temporal.WithPersistentStore(path))
+	classifySuite(b, seed)
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := temporal.NewEngine(temporal.WithPersistentStore(path))
+		if st := eng.StoreStats(); !st.Enabled || st.Records == 0 {
+			b.Fatalf("scan produced no records: %+v", st)
+		}
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
