@@ -166,6 +166,80 @@ func TestMetamorphicIntersectClosure(t *testing.T) {
 	}
 }
 
+// TestMetamorphicScenarioSpecHierarchy runs the protocol-scenario spec
+// formulas from internal/ts — realistic mutual-exclusion, leader-election
+// and cache-coherence requirements — through the classifier and checks
+// them against the paper's hierarchy table (§2): invariants are safety,
+// termination-style specs are guarantee, response specs are recurrence,
+// and every classification respects the inclusion order
+// safety/guarantee ⊆ obligation ⊆ recurrence ∩ persistence ⊆ reactivity.
+func TestMetamorphicScenarioSpecHierarchy(t *testing.T) {
+	cases := []struct {
+		formula string
+		member  []core.Class // classes the formula must be in
+		outside []core.Class // classes it must not be in
+	}{
+		// RingMutex: mutual exclusion and section-implies-want invariants.
+		{"G !(c0 & c1)", []core.Class{core.Safety}, []core.Class{core.Guarantee}},
+		{"G (c0 -> w0)", []core.Class{core.Safety}, []core.Class{core.Guarantee}},
+		// Eventual access / infinitely-often idle: guarantee and recurrence.
+		{"F c0", []core.Class{core.Guarantee}, []core.Class{core.Safety}},
+		{"G F t0", []core.Class{core.Recurrence}, []core.Class{core.Safety, core.Guarantee, core.Obligation}},
+		// Response (accessibility) specs sit in recurrence.
+		{"G (w0 -> F c0)", []core.Class{core.Recurrence}, []core.Class{core.Safety, core.Guarantee}},
+		// LeaderElection: stability of leadership is safety; election is
+		// guarantee.
+		{"G (elected -> G elected)", []core.Class{core.Safety}, nil},
+		{"F leader1", []core.Class{core.Guarantee}, []core.Class{core.Safety}},
+		// CacheCoherence: eventual permanent invalidity is persistence.
+		{"F G i0", []core.Class{core.Persistence}, []core.Class{core.Safety, core.Guarantee, core.Recurrence}},
+		{"G F i0", []core.Class{core.Recurrence}, []core.Class{core.Persistence}},
+	}
+	for _, tc := range cases {
+		f := ltl.MustParse(tc.formula)
+		cl, err := core.ClassifyFormula(f, ltl.Props(f))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.formula, err)
+		}
+		in := func(c core.Class) bool {
+			switch c {
+			case core.Safety:
+				return cl.Safety
+			case core.Guarantee:
+				return cl.Guarantee
+			case core.Obligation:
+				return cl.Obligation
+			case core.Recurrence:
+				return cl.Recurrence
+			case core.Persistence:
+				return cl.Persistence
+			default:
+				return cl.Reactivity
+			}
+		}
+		for _, c := range tc.member {
+			if !in(c) {
+				t.Errorf("%s: not classified %v (%+v)", tc.formula, c, cl)
+			}
+		}
+		for _, c := range tc.outside {
+			if in(c) {
+				t.Errorf("%s: wrongly classified %v (%+v)", tc.formula, c, cl)
+			}
+		}
+		// Inclusion laws of the hierarchy, independent of the expectations.
+		if (cl.Safety || cl.Guarantee) && !cl.Obligation {
+			t.Errorf("%s: safety/guarantee without obligation (%+v)", tc.formula, cl)
+		}
+		if cl.Obligation && (!cl.Recurrence || !cl.Persistence) {
+			t.Errorf("%s: obligation outside recurrence∩persistence (%+v)", tc.formula, cl)
+		}
+		if !cl.Reactivity {
+			t.Errorf("%s: fell outside reactivity (%+v)", tc.formula, cl)
+		}
+	}
+}
+
 // checkClosure asserts the hierarchy's finite-combination closure: when
 // both operands are in a class, so is the combination. (The converse is
 // false — combinations can land lower in the hierarchy — so only the

@@ -1,0 +1,12 @@
+package mc
+
+// SetShardThresholdsForTest shrinks the parallel sharding knobs so the
+// schedule-independence suite can force the sharded product-exploration
+// path onto the small systems the scenario and crosscheck corpora build
+// (at production sizes those explore sequentially). It returns a restore
+// func for defer.
+func SetShardThresholdsForTest(wave, chunk int) (restore func()) {
+	ow, oc := minShardWave, parMinChunk
+	minShardWave, parMinChunk = wave, chunk
+	return func() { minShardWave, parMinChunk = ow, oc }
+}

@@ -17,10 +17,12 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/autkern"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/ltl"
 	"repro/internal/obs"
 	"repro/internal/omega"
+	"repro/internal/par"
 	"repro/internal/ts"
 )
 
@@ -29,11 +31,25 @@ var (
 	cntRefineRounds = obs.NewCounter("mc.refine.rounds")
 	cntLazyNodes    = obs.NewCounter("mc.lazy.nodes_materialized")
 	histRefineSizes = obs.NewHistogram("mc.refine.component_size")
+
+	cntParWaves    = obs.NewCounter("mc.parallel.waves")
+	cntParShards   = obs.NewCounter("mc.parallel.shards")
+	cntParHandoffs = obs.NewCounter("mc.parallel.handoffs")
+	cntParSteals   = obs.NewCounter("mc.parallel.steals")
 )
 
 // mcFirstWave is the node bound of the first lazy exploration wave of the
 // fair product; each following wave doubles it (see searchFairAccepting).
 const mcFirstWave = 64
+
+// minShardWave / parMinChunk bound when a parallel explore shards a
+// frontier wave across workers (see the identically named knobs in
+// internal/omega). Variables so the schedule-independence tests can force
+// the sharded path onto small products.
+var (
+	minShardWave = 256
+	parMinChunk  = 64
+)
 
 // Trace is a lasso-shaped computation of the system: the states of the
 // transient prefix followed by the repeating loop.
@@ -83,7 +99,7 @@ func VerifyCtx(ctx context.Context, sys *ts.System, f ltl.Formula) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	trace, found, err := searchFairAccepting(sys, neg, props)
+	trace, found, err := searchFairAccepting(ctx, sys, neg, props)
 	if err != nil {
 		return Result{}, err
 	}
@@ -102,7 +118,7 @@ func FairComputation(sys *ts.System) (Trace, bool) {
 	if err != nil {
 		return Trace{}, false
 	}
-	tr, ok, err := searchFairAccepting(sys, omega.Universal(alpha), props)
+	tr, ok, err := searchFairAccepting(context.Background(), sys, omega.Universal(alpha), props)
 	if err != nil {
 		return Trace{}, false
 	}
@@ -170,6 +186,7 @@ type product struct {
 	closed int // nodes 0..closed-1 have materialized edges
 	inits  []int
 	autSym []alphabet.Symbol // per system state, its input symbol
+	symIdx []int             // per system state, its alphabet index in aut
 }
 
 // node returns the (system state, automaton state) of product node i.
@@ -182,9 +199,11 @@ func newProduct(sys *ts.System, aut *omega.Automaton, props []string) (*product,
 	defer sp.End()
 	p := &product{sys: sys, aut: aut, props: props, in: autkern.NewPairInterner()}
 	p.autSym = make([]alphabet.Symbol, sys.NumStates())
+	p.symIdx = make([]int, sys.NumStates())
 	for s := 0; s < sys.NumStates(); s++ {
 		p.autSym[s] = sys.Symbol(s, props)
-		if aut.Alphabet().Index(p.autSym[s]) < 0 {
+		p.symIdx[s] = aut.Alphabet().Index(p.autSym[s])
+		if p.symIdx[s] < 0 {
 			return nil, fmt.Errorf("mc: state %q symbol %q not in property alphabet", sys.StateName(s), p.autSym[s])
 		}
 	}
@@ -207,25 +226,120 @@ func (p *product) get(s, q int) int {
 
 // explore materializes node edges in discovery order until either the
 // whole reachable product is closed (returning true) or at least limit
-// nodes are.
-func (p *product) explore(limit int) bool {
+// nodes are. When the context carries a parallelism bound above 1, waves
+// large enough to amortize the goroutine overhead are sharded across
+// workers and merged at a barrier in chunk order, so node ids, edge
+// lists, verdicts and counterexample traces are bit-identical to the
+// sequential path regardless of worker count or interleaving (the same
+// contract ProductExplorer.ExploreCtx documents). One cancellation/budget
+// poll runs per wave; the search itself charges no budget (the automaton
+// constructions feeding it do).
+func (p *product) explore(ctx context.Context, limit int) (bool, error) {
 	before := p.closed
+	defer func() {
+		if d := p.closed - before; d > 0 {
+			cntLazyNodes.Add(int64(d))
+		}
+	}()
+	jobs := par.Jobs(ctx)
 	for p.closed < p.numNodes() && p.closed < limit {
+		if err := budget.Poll(ctx, 0); err != nil {
+			return false, err
+		}
+		waveEnd := p.numNodes()
+		if limit < waveEnd {
+			waveEnd = limit
+		}
+		if jobs <= 1 || waveEnd-p.closed < minShardWave {
+			p.exploreSeq(waveEnd)
+		} else {
+			p.exploreWave(ctx, waveEnd, jobs)
+		}
+	}
+	return p.closed == p.numNodes(), nil
+}
+
+// exploreSeq closes nodes up to waveEnd on the calling goroutine.
+func (p *product) exploreSeq(waveEnd int) {
+	for p.closed < waveEnd {
 		i := p.closed
 		ns, nq := p.node(i)
 		for ti, tr := range p.sys.Transitions() {
-			for _, s2 := range tr.Successors(ns) {
-				q2 := p.aut.Step(nq, p.autSym[s2])
+			for _, s2 := range tr.SuccessorsShared(ns) {
+				q2 := p.aut.StepIndex(nq, p.symIdx[s2])
 				j := p.get(s2, q2)
 				p.edges[i] = append(p.edges[i], prodEdge{to: j, trans: ti})
 			}
 		}
 		p.closed++
 	}
-	if d := p.closed - before; d > 0 {
-		cntLazyNodes.Add(int64(d))
+}
+
+// waveShard is one chunk's private discovery state: product nodes not yet
+// in the global interner, recorded in a chunk-local interner during the
+// wave and merged at the barrier; remap takes local ids to global ones.
+type waveShard struct {
+	seen  *autkern.PairInterner
+	remap []int
+}
+
+// exploreWave closes the wave [p.closed, waveEnd) with `jobs` workers:
+// contiguous chunks, read-only lookups against the shared interner,
+// chunk-local interners for unknown nodes (edges carry the negative
+// placeholder -(local+1)), then a barrier merge in chunk order that
+// reproduces the sequential first-seen intern order, followed by
+// placeholder rewriting. See ProductExplorer.exploreWave for the
+// determinism argument; DESIGN.md §13 states the contract.
+func (p *product) exploreWave(ctx context.Context, waveEnd, jobs int) {
+	chunks := par.Split(p.closed, waveEnd, jobs, parMinChunk)
+	shards := make([]waveShard, len(chunks))
+	trans := p.sys.Transitions()
+	st := par.Run(ctx, jobs, len(chunks), func(ci int) {
+		sh := &shards[ci]
+		sh.seen = autkern.NewPairInterner()
+		for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
+			ns, nq := p.node(i)
+			var edges []prodEdge
+			for ti, tr := range trans {
+				for _, s2 := range tr.SuccessorsShared(ns) {
+					q2 := p.aut.StepIndex(nq, p.symIdx[s2])
+					j, ok := p.in.Lookup(s2, q2)
+					if !ok {
+						j = -(sh.seen.Intern(s2, q2) + 1)
+					}
+					edges = append(edges, prodEdge{to: j, trans: ti})
+				}
+			}
+			p.edges[i] = edges
+		}
+	})
+	handoffs := 0
+	for i := range shards {
+		sh := &shards[i]
+		n := sh.seen.Len()
+		sh.remap = make([]int, n)
+		for l := 0; l < n; l++ {
+			x, y := sh.seen.Pair(l)
+			sh.remap[l] = p.get(x, y)
+		}
+		handoffs += n
 	}
-	return p.closed == p.numNodes()
+	for ci, c := range chunks {
+		remap := shards[ci].remap
+		for i := c[0]; i < c[1]; i++ {
+			es := p.edges[i]
+			for k := range es {
+				if es[k].to < 0 {
+					es[k].to = remap[-es[k].to-1]
+				}
+			}
+		}
+	}
+	p.closed = waveEnd
+	cntParWaves.Inc()
+	cntParShards.Add(int64(len(chunks)))
+	cntParHandoffs.Add(int64(handoffs))
+	cntParSteals.Add(int64(st.Steals))
 }
 
 // searchFairAccepting looks for a fair computation of sys accepted by the
@@ -234,7 +348,7 @@ func (p *product) explore(limit int) bool {
 // closed region after each wave, so a shallow counterexample is found
 // after materializing a few dozen nodes; the full product is built only
 // when no counterexample exists.
-func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (Trace, bool, error) {
+func searchFairAccepting(ctx context.Context, sys *ts.System, aut *omega.Automaton, props []string) (Trace, bool, error) {
 	p, err := newProduct(sys, aut, props)
 	if err != nil {
 		return Trace{}, false, err
@@ -243,7 +357,10 @@ func searchFairAccepting(sys *ts.System, aut *omega.Automaton, props []string) (
 	defer sp.End()
 	waves := 0
 	for limit := mcFirstWave; ; limit *= 2 {
-		done := p.explore(limit)
+		done, err := p.explore(ctx, limit)
+		if err != nil {
+			return Trace{}, false, err
+		}
 		waves++
 		allowed := make([]bool, p.numNodes())
 		for i := 0; i < p.closed; i++ {

@@ -1,0 +1,79 @@
+package mc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/ts"
+)
+
+// scenarioCases enumerates the protocol families at several sizes with
+// their known-verdict spec lists — the parameterized correctness suite
+// for the internal/ts scenario generators. Every failed property's
+// counterexample is replayed through the independent lasso evaluator.
+func scenarioCases(t *testing.T) map[string]struct {
+	sys   *ts.System
+	specs []ts.ScenarioSpec
+} {
+	t.Helper()
+	out := map[string]struct {
+		sys   *ts.System
+		specs []ts.ScenarioSpec
+	}{}
+	add := func(name string, sys *ts.System, err error, specs []ts.ScenarioSpec) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = struct {
+			sys   *ts.System
+			specs []ts.ScenarioSpec
+		}{sys, specs}
+	}
+	for n := 2; n <= 4; n++ {
+		for _, fair := range []ts.Fairness{ts.Weak, ts.Strong} {
+			sys, err := ts.RingMutex(n, fair)
+			add(fmt.Sprintf("ring%d-%s", n, fair), sys, err, ts.RingMutexSpecs(n, fair))
+		}
+		sys, err := ts.LeaderElection(n)
+		add(fmt.Sprintf("leader%d", n), sys, err, ts.LeaderElectionSpecs(n))
+	}
+	for n := 2; n <= 3; n++ {
+		sys, err := ts.CacheCoherence(n)
+		add(fmt.Sprintf("coherence%d", n), sys, err, ts.CacheCoherenceSpecs(n))
+	}
+	return out
+}
+
+func TestScenarioFamiliesKnownVerdicts(t *testing.T) {
+	for name, tc := range scenarioCases(t) {
+		for _, spec := range tc.specs {
+			f := ltl.MustParse(spec.Formula)
+			res, err := mc.Verify(tc.sys, f)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, spec.Formula, err)
+			}
+			if res.Holds != spec.Holds {
+				t.Errorf("%s: %s = %v, want %v", name, spec.Formula, res.Holds, spec.Holds)
+				continue
+			}
+			if res.Holds {
+				continue
+			}
+			if res.Counterexample == nil {
+				t.Errorf("%s: %s failed without a counterexample", name, spec.Formula)
+				continue
+			}
+			w := traceWord(tc.sys, res.Counterexample, ltl.Props(f))
+			ok, err := eval.Holds(f, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Errorf("%s: counterexample for %s satisfies the formula: %v", name, spec.Formula, w)
+			}
+		}
+	}
+}

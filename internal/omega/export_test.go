@@ -1,0 +1,11 @@
+package omega
+
+// SetShardThresholdsForTest shrinks the parallel sharding knobs so the
+// schedule-independence suite can force the sharded wave path onto the
+// small products the differential corpus generates (at production sizes
+// those explore sequentially). It returns a restore func for defer.
+func SetShardThresholdsForTest(wave, chunk int) (restore func()) {
+	ow, oc := minShardWave, parMinChunk
+	minShardWave, parMinChunk = wave, chunk
+	return func() { minShardWave, parMinChunk = ow, oc }
+}

@@ -55,6 +55,13 @@ func (t *Transition) Successors(s int) []int {
 	return append([]int(nil), t.steps[s]...)
 }
 
+// SuccessorsShared is Successors without the defensive copy: the slice is
+// shared with the transition and must not be mutated. It exists for the
+// hot exploration loops — the sharded product workers read successor sets
+// from many goroutines at once, which is safe exactly because nothing is
+// allocated or written.
+func (t *Transition) SuccessorsShared(s int) []int { return t.steps[s] }
+
 // Enabled reports whether the transition is enabled at s.
 func (t *Transition) Enabled(s int) bool { return len(t.steps[s]) > 0 }
 

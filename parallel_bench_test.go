@@ -1,0 +1,116 @@
+package temporal_test
+
+// BenchmarkParallelSearch* measures the sharded state-space search at 1,
+// 2, 4 and 8 workers: the omega lazy product exploration on the
+// large-product conjoined-fairness family, and mc.VerifyCtx on the
+// internal/ts protocol scenarios. Every parallel iteration's verdict is
+// asserted bit-identical to the sequential oracle computed once per
+// benchmark — a worker-count-dependent result fails the benchmark
+// outright, so the speedup gate in scripts/bench.sh can never trade
+// determinism for throughput. On hosts with at least 4 CPUs bench.sh
+// additionally gates the large-product family at a >=1.8x speedup for 4
+// workers; on smaller hosts the timing gate is skipped (logged) and only
+// the 0-verdict-diff contract is enforced here.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/ltl"
+	"repro/internal/mc"
+	"repro/internal/omega"
+	"repro/internal/par"
+	"repro/internal/ts"
+)
+
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// bigFairnessContainment compiles the five-pair conjoined-fairness
+// containment whose lazy product has 1024 states — large enough that the
+// exploration shards its waves at the production thresholds.
+func bigFairnessContainment(b *testing.B) (x, y *omega.Automaton) {
+	b.Helper()
+	props := []string{"p", "q", "r", "s", "u", "v", "w", "x", "y", "z"}
+	eng := engine.New()
+	x, err := eng.CompileFormula(context.Background(), ltl.MustParse(
+		"(G F p -> G F q) & (G F r -> G F s) & (G F u -> G F v) & (G F w -> G F x) & (G F y -> G F z)"), props)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err = eng.CompileFormula(context.Background(), ltl.MustParse(
+		"G F q & G F s & G F v & G F x & G F z"), props)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x, y
+}
+
+// BenchmarkParallelSearchProduct is the speedup-gated family: the full
+// lazy containment over the 1024-state product per worker count.
+func BenchmarkParallelSearchProduct(b *testing.B) {
+	x, y := bigFairnessContainment(b)
+	seqOK, seqW, err := x.ContainsCtx(context.Background(), y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", jobs), func(b *testing.B) {
+			ctx := par.WithJobs(context.Background(), jobs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ok, w, err := x.ContainsCtx(ctx, y)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ok != seqOK || !reflect.DeepEqual(w, seqW) {
+					b.Fatalf("workers=%d: verdict diverged from sequential", jobs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSearchVerify model-checks the protocol scenarios per
+// worker count, with the verdicts pinned to the sequential oracle's.
+func BenchmarkParallelSearchVerify(b *testing.B) {
+	coherence, err := ts.CacheCoherence(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring, err := ts.RingMutex(8, ts.Strong)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		sys     *ts.System
+		formula string
+	}{
+		{"coherence5", coherence, "G (wr0 -> F m0)"},
+		{"ring8", ring, "G (w0 -> F c0)"},
+	} {
+		f := ltl.MustParse(tc.formula)
+		seq, err := mc.VerifyCtx(context.Background(), tc.sys, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, jobs := range parallelWorkerCounts {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, jobs), func(b *testing.B) {
+				ctx := par.WithJobs(context.Background(), jobs)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := mc.VerifyCtx(ctx, tc.sys, f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Holds != seq.Holds || !reflect.DeepEqual(res.Counterexample, seq.Counterexample) {
+						b.Fatalf("%s workers=%d: result diverged from sequential", tc.name, jobs)
+					}
+				}
+			})
+		}
+	}
+}

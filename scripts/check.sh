@@ -24,6 +24,17 @@ go vet -copylocks -structtag ./internal/engine/ .
 echo "== go test -race =="
 go test -race ./...
 
+# Schedule-independence gate: the jobs-sweep differentials compare the
+# sharded parallel search at several worker counts and perturbed
+# schedules against the sequential oracle — verdicts, witness lassos and
+# state counts must be bit-identical. They already ran (at full size)
+# inside the -race suite above; this named quick pass documents the
+# contract and keeps a fast dedicated entry point for it.
+echo "== schedule-independence (jobs sweep, -race, quick) =="
+go test -race -short -count=1 \
+    -run 'ScheduleIndependence|Parallel|Concurrent' \
+    ./internal/omega/ ./internal/mc/ ./internal/engine/ ./internal/autkern/
+
 # Coverage floors on the two packages carrying the paper's decision
 # procedures. The floors sit ~5 points under the measured coverage at
 # the time each was last raised, so genuine additions don't trip them
@@ -59,6 +70,11 @@ cov_floor ./internal/cli/ 80
 # or recovery branch is exactly where corrupted bytes turn into wrong
 # verdicts.
 cov_floor ./internal/store/ 85
+# The scenario families carry known-verdict specs the parallel search is
+# differentially tested against; the par package is the scheduling
+# substrate every sharded wave runs on.
+cov_floor ./internal/ts/ 90
+cov_floor ./internal/par/ 90
 
 # Graph-algorithm lint: SCC decomposition, reachability closures and
 # state-pair/key interning live in internal/autkern only. A new Tarjan
